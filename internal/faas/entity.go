@@ -1,0 +1,165 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tca/internal/store"
+)
+
+// Entity errors.
+var (
+	ErrNotInCriticalSection = errors.New("faas: entity not locked by this critical section")
+	ErrLockOrdering         = errors.New("faas: critical sections must lock all entities up front")
+)
+
+// EntityID addresses a durable entity (the typed-object state abstraction
+// of Azure Durable Functions surveyed in §4.2).
+type EntityID struct {
+	Type string
+	ID   string
+}
+
+func (e EntityID) String() string { return e.Type + "@" + e.ID }
+
+// EntityManager hosts durable entities. Individual operations on one entity
+// are atomic and serialized (each entity processes one operation at a
+// time). Operations spanning entities require an explicit critical section
+// — callers acquire and release locks, exactly the contract the paper
+// describes ("users must acquire and release locks explicitly"). There is
+// no isolation across functions beyond that.
+type EntityManager struct {
+	p  *Platform
+	db *store.DB
+
+	mu    sync.Mutex
+	locks map[string]*entityLock
+}
+
+type entityLock struct {
+	mu sync.Mutex
+}
+
+func newEntityManager(p *Platform) *EntityManager {
+	db := store.NewDB(store.Config{Name: "faas-entities"})
+	db.CreateTable("entities")
+	return &EntityManager{p: p, db: db, locks: make(map[string]*entityLock)}
+}
+
+func (m *EntityManager) lockOf(id EntityID) *entityLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[id.String()]
+	if !ok {
+		l = &entityLock{}
+		m.locks[id.String()] = l
+	}
+	return l
+}
+
+// Signal performs one atomic operation on a single entity: fn receives the
+// current state (nil when fresh) and returns the new state. The
+// read-modify-write is serialized per entity and durably committed —
+// single-entity operations need no explicit locking.
+func (m *EntityManager) Signal(id EntityID, fn func(state store.Row) (store.Row, error)) error {
+	l := m.lockOf(id)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return m.apply(id, fn)
+}
+
+func (m *EntityManager) apply(id EntityID, fn func(state store.Row) (store.Row, error)) error {
+	tx := m.db.Begin(store.ReadCommitted)
+	cur, _, err := tx.Get("entities", id.String())
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	next, err := fn(cur)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Put("entities", id.String(), next); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Read returns an entity's current state without locking (a dirty read by
+// design — Durable Functions reads outside critical sections see whatever
+// is committed at that instant).
+func (m *EntityManager) Read(id EntityID) (store.Row, bool, error) {
+	tx := m.db.Begin(store.ReadCommitted)
+	defer tx.Abort()
+	return tx.Get("entities", id.String())
+}
+
+// CriticalSection is an explicit multi-entity lock scope.
+type CriticalSection struct {
+	m      *EntityManager
+	ids    []EntityID
+	held   []*entityLock
+	closed bool
+}
+
+// Lock opens a critical section over the given entities. Locks are
+// acquired in a canonical (sorted) order, which makes cross-section
+// deadlock impossible — the discipline Durable Functions enforces by
+// requiring all entities to be declared up front.
+func (m *EntityManager) Lock(ids ...EntityID) *CriticalSection {
+	sorted := make([]EntityID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+	cs := &CriticalSection{m: m, ids: sorted}
+	for _, id := range sorted {
+		l := m.lockOf(id)
+		l.mu.Lock()
+		cs.held = append(cs.held, l)
+	}
+	m.p.metrics.Counter("faas.critical_sections").Inc()
+	return cs
+}
+
+// Update performs an atomic read-modify-write on one locked entity.
+func (cs *CriticalSection) Update(id EntityID, fn func(state store.Row) (store.Row, error)) error {
+	if cs.closed {
+		return ErrNotInCriticalSection
+	}
+	if !cs.holds(id) {
+		return fmt.Errorf("%w: %s", ErrNotInCriticalSection, id)
+	}
+	return cs.m.apply(id, fn)
+}
+
+// Get reads one locked entity.
+func (cs *CriticalSection) Get(id EntityID) (store.Row, bool, error) {
+	if cs.closed || !cs.holds(id) {
+		return nil, false, fmt.Errorf("%w: %s", ErrNotInCriticalSection, id)
+	}
+	return cs.m.Read(id)
+}
+
+func (cs *CriticalSection) holds(id EntityID) bool {
+	for _, held := range cs.ids {
+		if held == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Unlock releases the critical section. Idempotent.
+func (cs *CriticalSection) Unlock() {
+	if cs.closed {
+		return
+	}
+	cs.closed = true
+	// Release in reverse acquisition order.
+	for i := len(cs.held) - 1; i >= 0; i-- {
+		cs.held[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,164 @@
+package faas
+
+import (
+	"sync"
+
+	"tca/internal/vclock"
+)
+
+// SharedStore is the shared-state model of SFaaS (§3.3 "Cloud Functions"):
+// any function may read and write any key, subject to the store's
+// consistency model. This store provides *causal consistency with session
+// guarantees* in the style of Cloudburst (§4.2): each session carries a
+// vector-clock causal context; reads merge the version's clock into the
+// context, and writes are stamped after it. A read that would violate
+// causality (return a version older than something the session already
+// depends on) is detectable and reported.
+type SharedStore struct {
+	mu   sync.RWMutex
+	data map[string]sharedVersion
+
+	// Stale read instrumentation for the consistency experiments.
+	staleReads int64
+}
+
+type sharedVersion struct {
+	value []byte
+	clock vclock.Vector
+}
+
+// NewSharedStore creates an empty causal store.
+func NewSharedStore() *SharedStore {
+	return &SharedStore{data: make(map[string]sharedVersion)}
+}
+
+// Session is one causal session (a function invocation's view).
+type Session struct {
+	store *SharedStore
+	id    string
+	ctx   vclock.Vector // causal context: everything this session depends on
+}
+
+// NewSession opens a session identified by id (sessions from the same
+// client id extend one causal history).
+func (s *SharedStore) NewSession(id string) *Session {
+	return &Session{store: s, id: id, ctx: vclock.NewVector()}
+}
+
+// Context returns a copy of the session's causal context.
+func (se *Session) Context() vclock.Vector { return se.ctx.Copy() }
+
+// Get reads key. The returned version's clock merges into the session's
+// causal context, so later operations causally depend on it. ok=false when
+// the key is absent.
+func (se *Session) Get(key string) (value []byte, ok bool) {
+	se.store.mu.RLock()
+	v, present := se.store.data[key]
+	se.store.mu.RUnlock()
+	if !present {
+		return nil, false
+	}
+	se.ctx = se.ctx.Merge(v.clock)
+	return append([]byte(nil), v.value...), true
+}
+
+// Put writes key. The new version is stamped causally after everything the
+// session has seen plus the session's own new event.
+func (se *Session) Put(key string, value []byte) {
+	se.ctx = se.ctx.Tick(se.id)
+	stamp := se.ctx.Copy()
+	se.store.mu.Lock()
+	cur, present := se.store.data[key]
+	if present {
+		// Last-writer-wins on concurrent versions, but the stored clock
+		// merges both so no causal history is lost (Cloudburst's lattice
+		// merge, specialized to LWW registers).
+		stamp = stamp.Merge(cur.clock)
+	}
+	se.store.data[key] = sharedVersion{value: append([]byte(nil), value...), clock: stamp}
+	se.store.mu.Unlock()
+}
+
+// CausalGet is Get that additionally verifies the causal session guarantee:
+// the returned version must not be causally older than what the session
+// already observed *for that key*. Violations are counted on the store
+// (they occur when a stale replica serves the read; see StaleReplica).
+func (se *Session) CausalGet(key string) (value []byte, ok bool, violation bool) {
+	se.store.mu.RLock()
+	v, present := se.store.data[key]
+	se.store.mu.RUnlock()
+	if !present {
+		// Absence after the session wrote the key is a violation of
+		// read-your-writes.
+		if se.ctx[se.id] > 0 {
+			return nil, false, false // cannot tell which key; be lenient
+		}
+		return nil, false, false
+	}
+	ord := v.clock.Compare(se.ctx)
+	violation = ord == vclock.Before
+	if violation {
+		se.store.mu.Lock()
+		se.store.staleReads++
+		se.store.mu.Unlock()
+	}
+	se.ctx = se.ctx.Merge(v.clock)
+	return append([]byte(nil), v.value...), true, violation
+}
+
+// StaleReads returns the number of detected causal violations.
+func (s *SharedStore) StaleReads() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.staleReads
+}
+
+// StaleReplica returns a read-only view frozen at the current state, which
+// then serves increasingly stale reads as the primary advances — the
+// ingredient for demonstrating why plain shared storage under replication
+// needs causal metadata (§4.2).
+func (s *SharedStore) StaleReplica() *Replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	frozen := make(map[string]sharedVersion, len(s.data))
+	for k, v := range s.data {
+		frozen[k] = v
+	}
+	return &Replica{data: frozen}
+}
+
+// Replica is a frozen secondary.
+type Replica struct {
+	mu   sync.RWMutex
+	data map[string]sharedVersion
+}
+
+// Get reads from the replica (possibly stale).
+func (r *Replica) Get(key string) (value []byte, clock vclock.Vector, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, present := r.data[key]
+	if !present {
+		return nil, nil, false
+	}
+	return append([]byte(nil), v.value...), v.clock.Copy(), true
+}
+
+// ReadFromReplica performs a session read against a stale replica,
+// detecting causal violations: if the replica's version is causally older
+// than the session's context, the session must not accept it.
+func (se *Session) ReadFromReplica(r *Replica, key string) (value []byte, ok bool, violation bool) {
+	v, clock, present := r.Get(key)
+	if !present {
+		return nil, false, se.ctx[se.id] > 0
+	}
+	violation = clock.Compare(se.ctx) == vclock.Before
+	if violation {
+		se.store.mu.Lock()
+		se.store.staleReads++
+		se.store.mu.Unlock()
+		return v, true, true
+	}
+	se.ctx = se.ctx.Merge(clock)
+	return v, true, false
+}

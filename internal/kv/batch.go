@@ -1,0 +1,95 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch is a set of writes applied atomically: all become visible at once
+// and are logged as one WAL record.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	key   string
+	value []byte
+	del   bool
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put adds a write to the batch.
+func (b *Batch) Put(key string, value []byte) *Batch {
+	v := make([]byte, len(value))
+	copy(v, value)
+	b.ops = append(b.ops, batchOp{key: key, value: v})
+	return b
+}
+
+// Delete adds a tombstone to the batch.
+func (b *Batch) Delete(key string) *Batch {
+	b.ops = append(b.ops, batchOp{key: key, del: true})
+	return b
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// encode serializes a batch for the WAL:
+//
+//	uvarint count, then per op: op byte (0 put, 1 del), uvarint keyLen, key,
+//	and for puts uvarint valLen, val.
+func (b *Batch) encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(b.ops)))
+	for _, op := range b.ops {
+		if op.del {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
+		buf = append(buf, op.key...)
+		if !op.del {
+			buf = binary.AppendUvarint(buf, uint64(len(op.value)))
+			buf = append(buf, op.value...)
+		}
+	}
+	return buf
+}
+
+func decodeBatch(buf []byte) (*Batch, error) {
+	b := NewBatch()
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("kv: bad batch header")
+	}
+	buf = buf[sz:]
+	for i := uint64(0); i < n; i++ {
+		if len(buf) < 1 {
+			return nil, fmt.Errorf("kv: truncated batch op")
+		}
+		del := buf[0] == 1
+		buf = buf[1:]
+		klen, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf[sz:])) < klen {
+			return nil, fmt.Errorf("kv: truncated batch key")
+		}
+		key := string(buf[sz : sz+int(klen)])
+		buf = buf[sz+int(klen):]
+		if del {
+			b.ops = append(b.ops, batchOp{key: key, del: true})
+			continue
+		}
+		vlen, sz := binary.Uvarint(buf)
+		if sz <= 0 || uint64(len(buf[sz:])) < vlen {
+			return nil, fmt.Errorf("kv: truncated batch value")
+		}
+		val := make([]byte, vlen)
+		copy(val, buf[sz:sz+int(vlen)])
+		buf = buf[sz+int(vlen):]
+		b.ops = append(b.ops, batchOp{key: key, value: val})
+	}
+	return b, nil
+}

@@ -1,0 +1,194 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// checkpoint file format:
+//
+//	magic "KVCP" | uvarint seq | uvarint keyCount |
+//	per key: uvarint keyLen, key, uvarint valLen, val
+//
+// Only the latest live version of each key is written; a checkpoint is a
+// materialized snapshot, not a full history.
+const checkpointMagic = "KVCP"
+
+// Checkpoint writes a consistent snapshot of the store to the given path
+// (atomically, via rename) and truncates the WAL: the checkpoint subsumes
+// it. Returns the snapshot's sequence number.
+func (s *Store) Checkpoint(path string) (uint64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	sn := s.Snapshot()
+	defer sn.Release()
+	if err := writeCheckpoint(path, sn); err != nil {
+		return 0, err
+	}
+	if s.log != nil {
+		if err := s.log.Truncate(); err != nil {
+			return 0, fmt.Errorf("kv: truncate wal after checkpoint: %w", err)
+		}
+	}
+	return sn.seq, nil
+}
+
+// CheckpointTo writes the snapshot to the store's default checkpoint
+// location inside its directory. Volatile stores return an error.
+func (s *Store) CheckpointTo() (uint64, error) {
+	if s.dir == "" {
+		return 0, fmt.Errorf("kv: in-memory store has no checkpoint location")
+	}
+	return s.Checkpoint(filepath.Join(s.dir, "CHECKPOINT"))
+}
+
+func writeCheckpoint(path string, sn *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kv: create checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(checkpointMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("kv: write checkpoint: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	if err := writeUvarint(sn.seq); err != nil {
+		f.Close()
+		return fmt.Errorf("kv: write checkpoint seq: %w", err)
+	}
+	// Count first (two passes keeps the format simple and the state is in
+	// memory anyway).
+	var count uint64
+	if err := sn.Scan("", "", func(string, []byte) bool { count++; return true }); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeUvarint(count); err != nil {
+		f.Close()
+		return fmt.Errorf("kv: write checkpoint count: %w", err)
+	}
+	var scanErr error
+	if err := sn.Scan("", "", func(k string, v []byte) bool {
+		if scanErr = writeUvarint(uint64(len(k))); scanErr != nil {
+			return false
+		}
+		if _, scanErr = w.WriteString(k); scanErr != nil {
+			return false
+		}
+		if scanErr = writeUvarint(uint64(len(v))); scanErr != nil {
+			return false
+		}
+		if _, scanErr = w.Write(v); scanErr != nil {
+			return false
+		}
+		return true
+	}); err != nil {
+		f.Close()
+		return err
+	}
+	if scanErr != nil {
+		f.Close()
+		return fmt.Errorf("kv: write checkpoint entries: %w", scanErr)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("kv: flush checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("kv: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("kv: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("kv: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint restores state from a checkpoint file if present.
+func (s *Store) loadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kv: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+		return fmt.Errorf("kv: bad checkpoint magic")
+	}
+	seq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("kv: read checkpoint seq: %w", err)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("kv: read checkpoint count: %w", err)
+	}
+	for i := uint64(0); i < count; i++ {
+		k, err := readLenPrefixed(r)
+		if err != nil {
+			return fmt.Errorf("kv: read checkpoint key: %w", err)
+		}
+		v, err := readLenPrefixed(r)
+		if err != nil {
+			return fmt.Errorf("kv: read checkpoint value: %w", err)
+		}
+		s.mem.put(string(k), version{seq: seq, value: v})
+	}
+	if seq > s.seq.Load() {
+		s.seq.Store(seq)
+	}
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// RestoreFrom wipes the store and loads the checkpoint at path. Used by
+// dataflow recovery to roll state back to the last completed epoch.
+func (s *Store) RestoreFrom(path string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	s.mem = newMemtable()
+	s.runs = nil
+	s.mu.Unlock()
+	s.seq.Store(0)
+	if s.log != nil {
+		if err := s.log.Truncate(); err != nil {
+			return fmt.Errorf("kv: truncate wal on restore: %w", err)
+		}
+	}
+	return s.loadCheckpoint(path)
+}
+
+func readLenPrefixed(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,447 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("Get = %q, want v", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	if _, ok, _ := s.Get("nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("v2"))
+	got, _, _ := s.Get("k")
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q, want v2", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	s.Delete("k")
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	// Delete of a missing key is fine.
+	if err := s.Delete("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAtomicVisibility(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	b := NewBatch().Put("a", []byte("1")).Put("b", []byte("2")).Delete("c")
+	s.Put("c", []byte("gone"))
+	if err := s.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		got, ok, _ := s.Get(k)
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%s) = %q,%v want %q", k, got, ok, want)
+		}
+	}
+	if _, ok, _ := s.Get("c"); ok {
+		t.Fatal("batch delete did not apply")
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("k", []byte("old"))
+	snap := s.Snapshot()
+	defer snap.Release()
+	s.Put("k", []byte("new"))
+	s.Delete("k2") // unrelated
+	got, ok, _ := snap.Get("k")
+	if !ok || string(got) != "old" {
+		t.Fatalf("snapshot Get = %q,%v want old", got, ok)
+	}
+	cur, _, _ := s.Get("k")
+	if string(cur) != "new" {
+		t.Fatalf("live Get = %q, want new", cur)
+	}
+}
+
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	s, err := Open("", Options{FlushBytes: 128, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("key", []byte("v0"))
+	snap := s.Snapshot()
+	defer snap.Release()
+	// Churn enough to force flushes and compactions.
+	for i := 0; i < 200; i++ {
+		s.Put("key", []byte(fmt.Sprintf("v%d", i+1)))
+		s.Put(fmt.Sprintf("other-%d", i), make([]byte, 32))
+	}
+	got, ok, _ := snap.Get("key")
+	if !ok || string(got) != "v0" {
+		t.Fatalf("snapshot read after compaction = %q,%v want v0", got, ok)
+	}
+}
+
+func TestSnapshotSeesDeletesAfterIt(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	snap := s.Snapshot()
+	defer snap.Release()
+	s.Delete("k")
+	if _, ok, _ := snap.Get("k"); !ok {
+		t.Fatal("snapshot must still see key deleted after snapshot")
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("live read must see the delete")
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	for _, k := range []string{"d", "a", "c", "b", "e"} {
+		s.Put(k, []byte(k))
+	}
+	var got []string
+	s.Scan("b", "e", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Delete("a")
+	var got []string
+	s.Scan("", "", func(k string, v []byte) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Scan = %v, want [b]", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), []byte("v"))
+	}
+	n := 0
+	s.Scan("", "", func(string, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("scan visited %d, want 3", n)
+	}
+}
+
+func TestScanAcrossRuns(t *testing.T) {
+	s, err := Open("", Options{FlushBytes: 64, MaxRuns: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	n := 0
+	s.Scan("", "", func(string, []byte) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("scan across runs = %d keys, want 50", n)
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("persist", []byte("me"))
+	s.Delete("persist-not")
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, _ := s2.Get("persist")
+	if !ok || string(got) != "me" {
+		t.Fatalf("after reopen Get = %q,%v want me", got, ok)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	seq, err := s.CheckpointTo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("checkpoint seq should be > 0")
+	}
+	// Post-checkpoint mutations.
+	s.Put("k0", []byte("dirty"))
+	s.Put("extra", []byte("dirty"))
+	// Roll back to the checkpoint.
+	if err := s.RestoreFrom(dir + "/CHECKPOINT"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get("k0")
+	if !ok || string(got) != "v0" {
+		t.Fatalf("after restore k0 = %q,%v want v0", got, ok)
+	}
+	if _, ok, _ := s.Get("extra"); ok {
+		t.Fatal("post-checkpoint key survived restore")
+	}
+	s.Close()
+
+	// Checkpoint + truncated WAL must also survive a process restart.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, _ = s2.Get("k42")
+	if !ok || string(got) != "v42" {
+		t.Fatalf("after reopen-from-checkpoint k42 = %q,%v want v42", got, ok)
+	}
+}
+
+func TestCheckpointSubsumesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	s.Put("a", []byte("1"))
+	if _, err := s.CheckpointTo(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", []byte("2")) // only in WAL
+	s.Close()
+	s2, _ := Open(dir, Options{})
+	defer s2.Close()
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		got, ok, _ := s2.Get(k)
+		if !ok || string(got) != want {
+			t.Fatalf("Get(%s) = %q,%v want %q", k, got, ok, want)
+		}
+	}
+}
+
+func TestInMemoryCheckpointToFails(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	if _, err := s.CheckpointTo(); err == nil {
+		t.Fatal("CheckpointTo on in-memory store should fail")
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := NewMemory()
+	s.Close()
+	if err := s.Put("k", nil); err != ErrClosed {
+		t.Fatalf("Put after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Get("k"); err != ErrClosed {
+		t.Fatalf("Get after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	s, err := Open("", Options{FlushBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Put(fmt.Sprintf("w%d-k%d", w, i%50), []byte{byte(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Get(fmt.Sprintf("w%d-k%d", i%4, i%50))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: the store agrees with a plain map under any sequence of
+// put/delete operations (model-based test).
+func TestMatchesModelProperty(t *testing.T) {
+	type op struct {
+		Key byte
+		Val byte
+		Del bool
+	}
+	f := func(ops []op) bool {
+		s, err := Open("", Options{FlushBytes: 96, MaxRuns: 2})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%16)
+			if o.Del {
+				s.Delete(k)
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", o.Val)
+				s.Put(k, []byte(v))
+				model[k] = v
+			}
+		}
+		// Point reads agree.
+		for k, want := range model {
+			got, ok, _ := s.Get(k)
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		// Scan agrees on the live key count.
+		n := 0
+		s.Scan("", "", func(k string, v []byte) bool {
+			if model[k] != string(v) {
+				return false
+			}
+			n++
+			return true
+		})
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a snapshot taken at any point returns exactly the model state
+// at that point regardless of later writes.
+func TestSnapshotIsolationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s, err := Open("", Options{FlushBytes: 256, MaxRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	model := map[string]string{}
+	type snapPair struct {
+		snap  *Snapshot
+		model map[string]string
+	}
+	var snaps []snapPair
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(20))
+		if rng.Intn(4) == 0 {
+			s.Delete(k)
+			delete(model, k)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			s.Put(k, []byte(v))
+			model[k] = v
+		}
+		if i%50 == 0 {
+			frozen := make(map[string]string, len(model))
+			for k, v := range model {
+				frozen[k] = v
+			}
+			snaps = append(snaps, snapPair{s.Snapshot(), frozen})
+		}
+	}
+	for i, sp := range snaps {
+		for k, want := range sp.model {
+			got, ok, _ := sp.snap.Get(k)
+			if !ok || string(got) != want {
+				t.Fatalf("snapshot %d: Get(%s) = %q,%v want %q", i, k, got, ok, want)
+			}
+		}
+		n := 0
+		sp.snap.Scan("", "", func(string, []byte) bool { n++; return true })
+		if n != len(sp.model) {
+			t.Fatalf("snapshot %d: scan saw %d keys, want %d", i, n, len(sp.model))
+		}
+		sp.snap.Release()
+	}
+}
+
+func TestSeqMonotone(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	prev := s.Seq()
+	for i := 0; i < 10; i++ {
+		s.Put("k", []byte{byte(i)})
+		cur := s.Seq()
+		if cur <= prev {
+			t.Fatalf("Seq not monotone: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := NewMemory()
+	defer s.Close()
+	s.Put("a", nil)
+	s.Put("b", nil)
+	s.Delete("a")
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}

@@ -1,0 +1,43 @@
+package kv
+
+// Snapshot is a consistent read-only view of the store as of the sequence
+// number at which it was taken. Snapshots pin their versions: compaction
+// will not discard data a live snapshot can still see. Release when done.
+type Snapshot struct {
+	s   *Store
+	seq uint64
+}
+
+// Snapshot captures the current state.
+func (s *Store) Snapshot() *Snapshot {
+	seq := s.seq.Load()
+	s.snapMu.Lock()
+	s.openSnaps[seq]++
+	s.snapMu.Unlock()
+	return &Snapshot{s: s, seq: seq}
+}
+
+// Seq returns the sequence number the snapshot reads at.
+func (sn *Snapshot) Seq() uint64 { return sn.seq }
+
+// Get reads key as of the snapshot.
+func (sn *Snapshot) Get(key string) ([]byte, bool, error) {
+	return sn.s.getAt(key, sn.seq)
+}
+
+// Scan iterates live keys in [start, end) as of the snapshot.
+func (sn *Snapshot) Scan(start, end string, fn func(key string, value []byte) bool) error {
+	return sn.s.scanAt(start, end, sn.seq, fn)
+}
+
+// Release unpins the snapshot. Using the snapshot afterwards may observe
+// compacted (missing) history.
+func (sn *Snapshot) Release() {
+	sn.s.snapMu.Lock()
+	defer sn.s.snapMu.Unlock()
+	if n := sn.s.openSnaps[sn.seq]; n <= 1 {
+		delete(sn.s.openSnaps, sn.seq)
+	} else {
+		sn.s.openSnaps[sn.seq] = n - 1
+	}
+}

@@ -1,0 +1,318 @@
+// Package metrics provides counters, gauges and latency histograms used by
+// every runtime in this repository to report throughput and latency
+// percentiles. The histogram is an HDR-style log-linear histogram: values are
+// bucketed with bounded relative error so that p50/p95/p99/p999 can be
+// reported without retaining every sample.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// bucketization: log-linear. Each power-of-two range is split into
+// subBuckets linear buckets, giving a relative error of 1/subBuckets.
+const (
+	subBucketBits = 5 // 32 sub-buckets per octave -> ~3% relative error
+	subBuckets    = 1 << subBucketBits
+	numOctaves    = 45 // covers up to ~2^45 ns ≈ 9.7 hours
+	numBuckets    = numOctaves * subBuckets
+)
+
+// Histogram is a concurrent log-linear histogram of non-negative int64
+// values (typically nanoseconds).
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stores math.MaxInt64 when empty
+	once   sync.Once
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func (h *Histogram) init() {
+	h.once.Do(func() {
+		h.min.CompareAndSwap(0, math.MaxInt64)
+	})
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// The octave is the position of the highest set bit above subBucketBits.
+	octave := 63 - leadingZeros(uint64(v)) - subBucketBits
+	sub := v >> uint(octave)
+	idx := (octave+1)*subBuckets + int(sub) - subBuckets
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lowest value stored in bucket i (used to report
+// percentile values).
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	octave := i/subBuckets - 1
+	sub := i%subBuckets + subBuckets
+	return int64(sub) << uint(octave)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.init()
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one duration sample in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the maximum sample, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Min returns the minimum sample, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	m := h.min.Load()
+	if m == math.MaxInt64 {
+		return 0
+	}
+	return m
+}
+
+// Percentile returns the value at quantile q in [0,1]. The returned value is
+// the lower bound of the bucket containing the q-th sample, so it
+// underestimates by at most the bucket width (~3%).
+func (h *Histogram) Percentile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot captures consistent-enough summary statistics for reporting.
+type Snapshot struct {
+	Count                int64
+	Mean                 float64
+	Min, Max             int64
+	P50, P90, P95, P99   int64
+	P999                 int64
+}
+
+// Snapshot returns current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Percentile(0.50),
+		P90:   h.Percentile(0.90),
+		P95:   h.Percentile(0.95),
+		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
+	}
+}
+
+// String formats the snapshot with durations in human units.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count,
+		time.Duration(int64(s.Mean)).Round(time.Microsecond),
+		time.Duration(s.P50).Round(time.Microsecond),
+		time.Duration(s.P95).Round(time.Microsecond),
+		time.Duration(s.P99).Round(time.Microsecond),
+		time.Duration(s.Max).Round(time.Microsecond))
+}
+
+// Registry is a named collection of metrics, used by runtimes to expose all
+// instruments for the benchmark harness to print.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Report renders all instruments sorted by name, one per line.
+func (r *Registry) Report() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.counts {
+		names = append(names, "counter/"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge/"+n)
+	}
+	for n := range r.hists {
+		names = append(names, "hist/"+n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		kind, name, _ := strings.Cut(n, "/")
+		switch kind {
+		case "counter":
+			fmt.Fprintf(&b, "%-40s %d\n", name, r.counts[name].Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%-40s %d\n", name, r.gauges[name].Value())
+		case "hist":
+			fmt.Fprintf(&b, "%-40s %s\n", name, r.hists[name].Snapshot())
+		}
+	}
+	return b.String()
+}

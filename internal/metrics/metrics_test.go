@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %d, want 7", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram should report zeros, got %+v", h.Snapshot())
+	}
+	if p := h.Percentile(0.99); p != 0 {
+		t.Fatalf("Percentile on empty = %d, want 0", p)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.Min != 1000 || s.Max != 1000 {
+		t.Fatalf("Min/Max = %d/%d, want 1000/1000", s.Min, s.Max)
+	}
+	// Bucketed value must be within ~3.2% below the true value.
+	if s.P50 > 1000 || float64(s.P50) < 1000*0.96 {
+		t.Fatalf("P50 = %d, want within [960, 1000]", s.P50)
+	}
+}
+
+func TestHistogramSmallExactValues(t *testing.T) {
+	// Values below subBuckets land in exact unit buckets.
+	h := NewHistogram()
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if got := h.Percentile(0.5); got != 15 && got != 16 {
+		t.Fatalf("P50 of 0..31 = %d, want 15 or 16", got)
+	}
+	if got := h.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+	if got := h.Max(); got != 31 {
+		t.Fatalf("Max = %d, want 31", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if got := h.Min(); got != 0 {
+		t.Fatalf("negative values should clamp to 0, Min = %d", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.Record(rng.Int63n(10_000_000)) // up to 10ms in ns
+	}
+	// Uniform distribution: p50 ≈ 5ms, p99 ≈ 9.9ms. The log-linear buckets
+	// guarantee <= ~3.2% relative error (plus sampling noise).
+	checks := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5e6}, {0.9, 9e6}, {0.99, 9.9e6}}
+	for _, c := range checks {
+		got := float64(h.Percentile(c.q))
+		if got < c.want*0.90 || got > c.want*1.10 {
+			t.Errorf("Percentile(%v) = %.0f, want within 10%% of %.0f", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Record(rng.Int63n(1 << 40))
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("Percentile not monotone: q=%v p=%d prev=%d", q, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Property: bucketLow(bucketIndex(v)) <= v, and the bucket's low bound
+	// is within the relative-error budget of v.
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= 1 << 44
+		i := bucketIndex(v)
+		low := bucketLow(i)
+		if low > v {
+			return false
+		}
+		// Relative error bound: bucket width is low/subBuckets for large v.
+		if v >= subBuckets && float64(v-low) > float64(v)/float64(subBuckets)+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 5000; j++ {
+				h.Record(rng.Int63n(1_000_000))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := h.Count(); got != 20000 {
+		t.Fatalf("Count = %d, want 20000", got)
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(3 * time.Millisecond)
+	if got := h.Max(); got != int64(3*time.Millisecond) {
+		t.Fatalf("Max = %d, want %d", got, int64(3*time.Millisecond))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Record(100)
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Fatalf("counter a = %d, want 2 (same instance should be returned)", got)
+	}
+	rep := r.Report()
+	if rep == "" {
+		t.Fatal("Report() empty")
+	}
+	for _, want := range []string{"a", "g", "h"} {
+		if !contains(rep, want) {
+			t.Errorf("Report() missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(int64(time.Millisecond))
+	s := h.Snapshot().String()
+	if !contains(s, "n=1") {
+		t.Fatalf("Snapshot string %q missing count", s)
+	}
+}

@@ -1,0 +1,278 @@
+// Package mq implements the durable, partitioned message log that plays the
+// role of Kafka/RabbitMQ in the paper's messaging taxonomy (§3.2): producers
+// append to topic partitions, consumer groups pull from committed offsets,
+// and the delivery guarantee — at-most-once, at-least-once, exactly-once —
+// is a property of *how offsets are acknowledged relative to processing*,
+// which is precisely the application-level coordination burden the paper
+// highlights.
+//
+// Exactly-once support follows Kafka's design surface: idempotent producers
+// (producer id + sequence number dedup), transactional produce (a batch of
+// messages across partitions becomes visible atomically), and transactional
+// consume-transform-produce (consumer group offsets commit atomically with
+// the produced messages).
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tca/internal/fabric"
+)
+
+// Common broker errors.
+var (
+	ErrNoTopic      = errors.New("mq: no such topic")
+	ErrNoPartition  = errors.New("mq: no such partition")
+	ErrTxnActive    = errors.New("mq: producer transaction already active")
+	ErrNoTxn        = errors.New("mq: no active producer transaction")
+	ErrFenced       = errors.New("mq: producer fenced by newer instance")
+)
+
+// Message is one record in a partition log.
+type Message struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       string
+	Value     []byte
+	Headers   map[string]string
+}
+
+// TopicPartition addresses one partition.
+type TopicPartition struct {
+	Topic     string
+	Partition int
+}
+
+func (tp TopicPartition) String() string {
+	return fmt.Sprintf("%s/%d", tp.Topic, tp.Partition)
+}
+
+// partition is one append-only log plus producer dedup state.
+type partition struct {
+	mu   sync.Mutex
+	msgs []Message
+	// producer dedup: highest sequence number appended per producer id.
+	producerSeq map[string]int64
+}
+
+func newPartition() *partition {
+	return &partition{producerSeq: make(map[string]int64)}
+}
+
+// append adds messages, deduplicating by (producerID, seq) when producerID
+// is non-empty. Returns the number actually appended.
+func (p *partition) append(topic string, part int, producerID string, baseSeq int64, msgs []Message) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	appended := 0
+	for i, m := range msgs {
+		if producerID != "" {
+			seq := baseSeq + int64(i)
+			if last, ok := p.producerSeq[producerID]; ok && seq <= last {
+				continue // duplicate from producer retry
+			}
+			p.producerSeq[producerID] = seq
+		}
+		m.Topic = topic
+		m.Partition = part
+		m.Offset = int64(len(p.msgs))
+		p.msgs = append(p.msgs, m)
+		appended++
+	}
+	return appended
+}
+
+func (p *partition) read(from int64, max int) []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= int64(len(p.msgs)) {
+		return nil
+	}
+	end := from + int64(max)
+	if end > int64(len(p.msgs)) {
+		end = int64(len(p.msgs))
+	}
+	out := make([]Message, end-from)
+	copy(out, p.msgs[from:end])
+	return out
+}
+
+func (p *partition) highWater() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.msgs))
+}
+
+// topic is a set of partitions.
+type topic struct {
+	name  string
+	parts []*partition
+}
+
+// Broker is the message broker. Safe for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+	// group -> topic/partition -> next offset to deliver
+	offsets map[string]map[TopicPartition]int64
+	// transactional producer fencing: transactional id -> epoch
+	producerEpochs map[string]int64
+
+	cluster *fabric.Cluster // optional: duplicate-delivery injection
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics:         make(map[string]*topic),
+		offsets:        make(map[string]map[TopicPartition]int64),
+		producerEpochs: make(map[string]int64),
+	}
+}
+
+// WithChaos attaches a fabric cluster whose duplicate-delivery probability
+// is applied to consumed batches, modeling redelivery by the transport.
+func (b *Broker) WithChaos(c *fabric.Cluster) *Broker {
+	b.mu.Lock()
+	b.cluster = c
+	b.mu.Unlock()
+	return b
+}
+
+// CreateTopic creates a topic with n partitions. Idempotent; partition
+// count of an existing topic is not changed.
+func (b *Broker) CreateTopic(name string, n int) {
+	if n <= 0 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.topics[name]; ok {
+		return
+	}
+	t := &topic{name: name, parts: make([]*partition, n)}
+	for i := range t.parts {
+		t.parts[i] = newPartition()
+	}
+	b.topics[name] = t
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(name string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	return len(t.parts), nil
+}
+
+func (b *Broker) partition(tp TopicPartition) (*partition, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[tp.Topic]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTopic, tp.Topic)
+	}
+	if tp.Partition < 0 || tp.Partition >= len(t.parts) {
+		return nil, fmt.Errorf("%w: %s", ErrNoPartition, tp)
+	}
+	return t.parts[tp.Partition], nil
+}
+
+// HighWater returns the end offset (next offset to be written) of tp.
+func (b *Broker) HighWater(tp TopicPartition) (int64, error) {
+	p, err := b.partition(tp)
+	if err != nil {
+		return 0, err
+	}
+	return p.highWater(), nil
+}
+
+// Fetch reads up to max messages from tp starting at offset (a low-level
+// read that does not touch group offsets; the dataflow source uses this).
+func (b *Broker) Fetch(tp TopicPartition, offset int64, max int) ([]Message, error) {
+	p, err := b.partition(tp)
+	if err != nil {
+		return nil, err
+	}
+	return p.read(offset, max), nil
+}
+
+// partitionFor maps a key to a partition index with FNV-1a, matching the
+// fabric's placement hash so co-partitioned topics align.
+func (t *topic) partitionFor(key string) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return int(h % uint64(len(t.parts)))
+}
+
+// committedOffset returns the group's committed offset for tp (0 if none).
+func (b *Broker) committedOffset(group string, tp TopicPartition) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.offsets[group]
+	if !ok {
+		return 0
+	}
+	return g[tp]
+}
+
+// commitOffsets atomically records the group's offsets.
+func (b *Broker) commitOffsets(group string, offs map[TopicPartition]int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.offsets[group]
+	if !ok {
+		g = make(map[TopicPartition]int64)
+		b.offsets[group] = g
+	}
+	for tp, off := range offs {
+		if off > g[tp] {
+			g[tp] = off
+		}
+	}
+}
+
+// CommittedOffset exposes a group's committed offset for tests and the
+// harness.
+func (b *Broker) CommittedOffset(group string, tp TopicPartition) int64 {
+	return b.committedOffset(group, tp)
+}
+
+// ProduceIdempotent appends one message with an explicit (producerID, seq)
+// pair, deduplicating replays: a message with a sequence number at or below
+// the highest seen for producerID on the target partition is dropped.
+// Callers that derive seq deterministically from their input (e.g. the
+// stateful-functions runtime, which uses the consumed record's offset) get
+// exactly-once appends across crash-replay cycles.
+func (b *Broker) ProduceIdempotent(topicName, key string, value []byte, producerID string, seq int64) (appended bool, err error) {
+	b.mu.Lock()
+	t, ok := b.topics[topicName]
+	b.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoTopic, topicName)
+	}
+	tp := TopicPartition{Topic: topicName, Partition: t.partitionFor(key)}
+	p, err := b.partition(tp)
+	if err != nil {
+		return false, err
+	}
+	msg := Message{Key: key, Value: append([]byte(nil), value...)}
+	n := p.append(tp.Topic, tp.Partition, producerID, seq, []Message{msg})
+	return n == 1, nil
+}

@@ -1,0 +1,226 @@
+package saga
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"tca/internal/dedup"
+	"tca/internal/mq"
+)
+
+// Choreography is the decentralized saga variant: no orchestrator, each
+// step is an independent worker reacting to events on the message broker.
+// Success events trigger the next step; failure events trigger the
+// compensation chain backwards. Delivery is at-least-once, so every worker
+// dedups by saga id — the idempotency burden §3.2 places on applications
+// shows up here as code, not as prose.
+type Choreography struct {
+	name   string
+	broker *mq.Broker
+	def    *Definition
+
+	mu       sync.Mutex
+	results  map[string]chan error // sagaID -> completion
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// choreoEvent is the wire format of saga progress events.
+type choreoEvent struct {
+	SagaID string         `json:"id"`
+	Step   int            `json:"step"`
+	Data   map[string]any `json:"data"`
+	// Compensating marks the backward chain; Cause preserves the failure.
+	Compensating bool   `json:"comp,omitempty"`
+	Cause        string `json:"cause,omitempty"`
+}
+
+// NewChoreography wires a definition to broker topics. Call Start to launch
+// the step workers.
+func NewChoreography(broker *mq.Broker, name string, def *Definition) *Choreography {
+	c := &Choreography{name: name, broker: broker, def: def, results: make(map[string]chan error)}
+	for i := range def.Steps {
+		broker.CreateTopic(c.stepTopic(i), 1)
+	}
+	broker.CreateTopic(c.doneTopic(), 1)
+	return c
+}
+
+func (c *Choreography) stepTopic(i int) string { return "saga." + c.name + fmt.Sprintf(".step%d", i) }
+func (c *Choreography) doneTopic() string      { return "saga." + c.name + ".done" }
+
+// Start launches one worker per step plus the completion listener.
+func (c *Choreography) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	c.stop = make(chan struct{})
+	for i := range c.def.Steps {
+		c.wg.Add(1)
+		go c.runStepWorker(i)
+	}
+	c.wg.Add(1)
+	go c.runDoneListener()
+}
+
+// Stop halts the workers.
+func (c *Choreography) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	close(c.stop)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Run starts a saga instance and waits for its outcome: nil on completion,
+// ErrCompensated on rollback.
+func (c *Choreography) Run(id string, data map[string]any, timeout time.Duration) error {
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	c.results[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.results, id)
+		c.mu.Unlock()
+	}()
+	if err := c.publish(c.stepTopic(0), choreoEvent{SagaID: id, Step: 0, Data: data}); err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("saga: choreography %s/%s timed out", c.name, id)
+	}
+}
+
+func (c *Choreography) publish(topic string, ev choreoEvent) error {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.broker.NewProducer("").Send(topic, ev.SagaID, raw)
+	return err
+}
+
+// runStepWorker consumes step-i events: forward events execute the action;
+// backward events execute the compensation.
+func (c *Choreography) runStepWorker(i int) {
+	defer c.wg.Done()
+	group := fmt.Sprintf("%s-step%d", c.name, i)
+	consumer, err := c.broker.NewConsumer(group, mq.AtLeastOnce, c.stepTopic(i))
+	if err != nil {
+		return
+	}
+	seen := dedup.New(0) // at-least-once -> idempotent handling
+	step := c.def.Steps[i]
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		msgs, err := consumer.Poll(16)
+		if err != nil || len(msgs) == 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		for _, m := range msgs {
+			var ev choreoEvent
+			if json.Unmarshal(m.Value, &ev) != nil {
+				continue
+			}
+			key := fmt.Sprintf("%s/%d/%v", ev.SagaID, ev.Step, ev.Compensating)
+			seen.Do(key, func() ([]byte, error) {
+				c.handle(i, step, ev)
+				return nil, nil
+			})
+		}
+		consumer.Ack()
+	}
+}
+
+func (c *Choreography) handle(i int, step Step, ev choreoEvent) {
+	ctx := &Ctx{SagaID: ev.SagaID, Data: ev.Data}
+	if ctx.Data == nil {
+		ctx.Data = map[string]any{}
+	}
+	if ev.Compensating {
+		if step.Compensate != nil {
+			_ = step.Compensate(ctx) // stuck handling is orchestration-only
+		}
+		if i == 0 {
+			c.publish(c.doneTopic(), choreoEvent{SagaID: ev.SagaID, Compensating: true, Cause: ev.Cause})
+			return
+		}
+		c.publish(c.stepTopic(i-1), choreoEvent{SagaID: ev.SagaID, Step: i - 1, Data: ctx.Data, Compensating: true, Cause: ev.Cause})
+		return
+	}
+	if err := step.Action(ctx); err != nil {
+		if i == 0 {
+			c.publish(c.doneTopic(), choreoEvent{SagaID: ev.SagaID, Compensating: true, Cause: err.Error()})
+			return
+		}
+		// Kick the backward chain at the previous step.
+		c.publish(c.stepTopic(i-1), choreoEvent{SagaID: ev.SagaID, Step: i - 1, Data: ctx.Data, Compensating: true, Cause: err.Error()})
+		return
+	}
+	if i == len(c.def.Steps)-1 {
+		c.publish(c.doneTopic(), choreoEvent{SagaID: ev.SagaID, Data: ctx.Data})
+		return
+	}
+	c.publish(c.stepTopic(i+1), choreoEvent{SagaID: ev.SagaID, Step: i + 1, Data: ctx.Data})
+}
+
+// runDoneListener resolves Run waiters.
+func (c *Choreography) runDoneListener() {
+	defer c.wg.Done()
+	consumer, err := c.broker.NewConsumer(c.name+"-done", mq.AtLeastOnce, c.doneTopic())
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		msgs, err := consumer.Poll(16)
+		if err != nil || len(msgs) == 0 {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		for _, m := range msgs {
+			var ev choreoEvent
+			if json.Unmarshal(m.Value, &ev) != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch, ok := c.results[ev.SagaID]
+			c.mu.Unlock()
+			if !ok {
+				continue
+			}
+			var outcome error
+			if ev.Compensating {
+				outcome = fmt.Errorf("%w: %s", ErrCompensated, ev.Cause)
+			}
+			select {
+			case ch <- outcome:
+			default:
+			}
+		}
+		consumer.Ack()
+	}
+}

@@ -1,0 +1,370 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+type txnState int
+
+const (
+	txnActive txnState = iota
+	txnPrepared
+	txnCommitted
+	txnAborted
+)
+
+type tableKey struct {
+	table, key string
+}
+
+type writeOp struct {
+	row Row
+	del bool
+}
+
+// Txn is one database transaction. A Txn is not safe for concurrent use by
+// multiple goroutines (as with database/sql's Tx).
+type Txn struct {
+	db     *DB
+	iso    Isolation
+	id     uint64 // monotone; lower id = older, used by wound-wait
+	snapTS uint64
+	state  txnState
+
+	reads  map[tableKey]uint64 // observed commit ts (0 = observed absent)
+	writes map[tableKey]writeOp
+	order  []tableKey // write order for deterministic install
+
+	wounded   atomic.Bool
+	woundedCh chan struct{}
+	held      []*lockEntry
+}
+
+// Begin starts a transaction at the given isolation level.
+func (db *DB) Begin(iso Isolation) *Txn {
+	return &Txn{
+		db:        db,
+		iso:       iso,
+		id:        db.txnSeq.Add(1),
+		snapTS:    db.clock.Load(),
+		reads:     make(map[tableKey]uint64),
+		writes:    make(map[tableKey]writeOp),
+		woundedCh: make(chan struct{}),
+	}
+}
+
+// ID returns the transaction's unique id (its age for wound-wait purposes).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() Isolation { return t.iso }
+
+// wound marks the transaction as a deadlock-avoidance victim. Idempotent.
+func (t *Txn) wound() {
+	if t.wounded.CompareAndSwap(false, true) {
+		close(t.woundedCh)
+		t.db.Wounds.Add(1)
+	}
+}
+
+func (t *Txn) checkUsable() error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	if t.wounded.Load() {
+		return ErrWounded
+	}
+	return nil
+}
+
+// Get returns the row at key in table, or ok=false when absent.
+func (t *Txn) Get(tableName, key string) (Row, bool, error) {
+	if err := t.checkUsable(); err != nil {
+		return nil, false, err
+	}
+	done := t.db.admit()
+	defer done()
+	tk := tableKey{tableName, key}
+	if w, ok := t.writes[tk]; ok {
+		if w.del {
+			return nil, false, nil
+		}
+		return w.row.Clone(), true, nil
+	}
+	tbl, err := t.db.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	if t.iso == Locking2PL {
+		if err := t.db.locks.acquire(t, tk, lockShared); err != nil {
+			return nil, false, err
+		}
+	}
+	at := t.readTS()
+	rec, ok := tbl.get(key)
+	if !ok {
+		t.noteRead(tk, 0)
+		return nil, false, nil
+	}
+	tbl.mu.RLock()
+	v, found := rec.latest(at)
+	tbl.mu.RUnlock()
+	if !found || v.deleted {
+		t.noteRead(tk, 0)
+		return nil, false, nil
+	}
+	t.noteRead(tk, v.ts)
+	return v.row.Clone(), true, nil
+}
+
+// readTS returns the timestamp this transaction reads at.
+func (t *Txn) readTS() uint64 {
+	switch t.iso {
+	case ReadCommitted, Locking2PL:
+		return t.db.clock.Load()
+	default:
+		return t.snapTS
+	}
+}
+
+func (t *Txn) noteRead(tk tableKey, ts uint64) {
+	if t.iso == Serializable {
+		if _, seen := t.reads[tk]; !seen {
+			t.reads[tk] = ts
+		}
+	}
+}
+
+// Put buffers a write of row under key.
+func (t *Txn) Put(tableName, key string, row Row) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	done := t.db.admit()
+	defer done()
+	if _, err := t.db.table(tableName); err != nil {
+		return err
+	}
+	tk := tableKey{tableName, key}
+	if t.iso == Locking2PL {
+		if err := t.db.locks.acquire(t, tk, lockExclusive); err != nil {
+			return err
+		}
+	}
+	if _, exists := t.writes[tk]; !exists {
+		t.order = append(t.order, tk)
+	}
+	t.writes[tk] = writeOp{row: row.Clone()}
+	return nil
+}
+
+// Delete buffers a deletion of key.
+func (t *Txn) Delete(tableName, key string) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	done := t.db.admit()
+	defer done()
+	if _, err := t.db.table(tableName); err != nil {
+		return err
+	}
+	tk := tableKey{tableName, key}
+	if t.iso == Locking2PL {
+		if err := t.db.locks.acquire(t, tk, lockExclusive); err != nil {
+			return err
+		}
+	}
+	if _, exists := t.writes[tk]; !exists {
+		t.order = append(t.order, tk)
+	}
+	t.writes[tk] = writeOp{del: true}
+	return nil
+}
+
+// Scan iterates rows with keys in [start, end) in ascending key order,
+// merged with the transaction's own uncommitted writes. An empty end means
+// "to the last key". fn returning false stops the scan.
+//
+// Note: under Serializable, Scan validates the individual keys it returned
+// but not the absence of others — phantoms are not prevented (the store is
+// honest about this classic OCC limitation; the TPC-C workload avoids
+// depending on it).
+func (t *Txn) Scan(tableName, start, end string, fn func(key string, row Row) bool) error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	done := t.db.admit()
+	defer done()
+	tbl, err := t.db.table(tableName)
+	if err != nil {
+		return err
+	}
+	at := t.readTS()
+	keys := tbl.sortedKeys()
+	// Merge in own-write keys not yet committed.
+	var ownKeys []string
+	for tk := range t.writes {
+		if tk.table == tableName {
+			ownKeys = append(ownKeys, tk.key)
+		}
+	}
+	if len(ownKeys) > 0 {
+		set := make(map[string]struct{}, len(keys))
+		for _, k := range keys {
+			set[k] = struct{}{}
+		}
+		for _, k := range ownKeys {
+			if _, ok := set[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+	}
+	for _, k := range keys {
+		if k < start || (end != "" && k >= end) {
+			continue
+		}
+		tk := tableKey{tableName, k}
+		if w, ok := t.writes[tk]; ok {
+			if w.del {
+				continue
+			}
+			if !fn(k, w.row.Clone()) {
+				return nil
+			}
+			continue
+		}
+		if t.iso == Locking2PL {
+			if err := t.db.locks.acquire(t, tk, lockShared); err != nil {
+				return err
+			}
+		}
+		rec, ok := tbl.get(k)
+		if !ok {
+			continue
+		}
+		tbl.mu.RLock()
+		v, found := rec.latest(at)
+		tbl.mu.RUnlock()
+		if !found || v.deleted {
+			continue
+		}
+		t.noteRead(tk, v.ts)
+		if !fn(k, v.row.Clone()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Prepare is phase one of two-phase commit. It is only meaningful under
+// Locking2PL: it validates the transaction can commit and pins its locks
+// until Commit or Abort. After a successful Prepare, Commit cannot fail —
+// the durability contract a 2PC participant must offer its coordinator.
+func (t *Txn) Prepare() error {
+	if err := t.checkUsable(); err != nil {
+		return err
+	}
+	if t.iso != Locking2PL {
+		return fmt.Errorf("store: Prepare requires Locking2PL, have %v", t.iso)
+	}
+	t.state = txnPrepared
+	return nil
+}
+
+// Commit makes the transaction's writes visible atomically. Under
+// SnapshotIsolation and Serializable it may return ErrWriteConflict or
+// ErrConflict, in which case nothing was applied and the caller should
+// retry.
+func (t *Txn) Commit() error {
+	switch t.state {
+	case txnActive:
+		if t.wounded.Load() {
+			t.Abort()
+			return ErrWounded
+		}
+	case txnPrepared:
+		// Prepared transactions commit unconditionally.
+	default:
+		return ErrTxnDone
+	}
+
+	db := t.db
+	db.commitMu.Lock()
+	// Validation.
+	if t.state == txnActive {
+		switch t.iso {
+		case SnapshotIsolation, Serializable:
+			for _, tk := range t.order {
+				if ts := db.latestTS(tk); ts > t.snapTS {
+					db.commitMu.Unlock()
+					db.Conflicts.Add(1)
+					t.Abort()
+					return fmt.Errorf("%w: %s/%s", ErrWriteConflict, tk.table, tk.key)
+				}
+			}
+		}
+		if t.iso == Serializable {
+			for tk, seen := range t.reads {
+				if _, alsoWritten := t.writes[tk]; alsoWritten {
+					continue // covered by the write check above
+				}
+				if ts := db.latestTS(tk); ts != seen {
+					db.commitMu.Unlock()
+					db.Conflicts.Add(1)
+					t.Abort()
+					return fmt.Errorf("%w: read %s/%s changed", ErrConflict, tk.table, tk.key)
+				}
+			}
+		}
+	}
+	// Install.
+	ts := db.clock.Add(1)
+	for _, tk := range t.order {
+		w := t.writes[tk]
+		tbl, err := db.table(tk.table)
+		if err != nil {
+			db.commitMu.Unlock()
+			t.Abort()
+			return err
+		}
+		tbl.install(tk.key, version{ts: ts, row: w.row, deleted: w.del})
+	}
+	db.commitMu.Unlock()
+
+	t.state = txnCommitted
+	db.locks.releaseAll(t)
+	db.Commits.Add(1)
+	return nil
+}
+
+// latestTS returns the commit timestamp of the newest version of tk, or 0
+// when the key has never been written.
+func (db *DB) latestTS(tk tableKey) uint64 {
+	tbl, err := db.table(tk.table)
+	if err != nil {
+		return 0
+	}
+	rec, ok := tbl.get(tk.key)
+	if !ok {
+		return 0
+	}
+	tbl.mu.RLock()
+	defer tbl.mu.RUnlock()
+	if len(rec.versions) == 0 {
+		return 0
+	}
+	return rec.versions[0].ts
+}
+
+// Abort discards the transaction. Safe to call on finished transactions.
+func (t *Txn) Abort() {
+	if t.state == txnCommitted || t.state == txnAborted {
+		return
+	}
+	t.state = txnAborted
+	t.db.locks.releaseAll(t)
+	t.db.Aborts.Add(1)
+}

@@ -1,0 +1,201 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	if got := l.Tick(); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := l.Tick(); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+}
+
+func TestLamportObserve(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	if got := l.Observe(10); got != 11 {
+		t.Fatalf("Observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Fatalf("Observe(3) = %d, want 12 (must stay monotone)", got)
+	}
+	if got := l.Now(); got != 12 {
+		t.Fatalf("Now = %d, want 12", got)
+	}
+}
+
+func TestLamportConcurrent(t *testing.T) {
+	var l Lamport
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Now(); got != 8000 {
+		t.Fatalf("Now = %d, want 8000", got)
+	}
+}
+
+func TestHLCMonotone(t *testing.T) {
+	// Frozen physical clock: logical component must break ties.
+	c := NewHLCWithSource(func() int64 { return 100 })
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		cur := c.Now()
+		if !prev.Before(cur) {
+			t.Fatalf("HLC not monotone: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHLCBackwardsPhysicalClock(t *testing.T) {
+	// Physical time goes backwards; HLC must still be monotone.
+	times := []int64{100, 50, 40, 200}
+	i := 0
+	c := NewHLCWithSource(func() int64 { v := times[i%len(times)]; i++; return v })
+	prev := c.Now()
+	for j := 0; j < 10; j++ {
+		cur := c.Now()
+		if !prev.Before(cur) {
+			t.Fatalf("HLC went backwards: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHLCObserveDominatesRemote(t *testing.T) {
+	c := NewHLCWithSource(func() int64 { return 10 })
+	remote := HLCTimestamp{Wall: 500, Logical: 7}
+	got := c.Observe(remote)
+	if !remote.Before(got) {
+		t.Fatalf("Observe result %v must exceed remote %v", got, remote)
+	}
+	// Subsequent local events remain above the observed remote.
+	next := c.Now()
+	if !got.Before(next) {
+		t.Fatalf("Now after Observe %v must exceed %v", next, got)
+	}
+}
+
+func TestHLCCompare(t *testing.T) {
+	a := HLCTimestamp{Wall: 1, Logical: 0}
+	b := HLCTimestamp{Wall: 1, Logical: 1}
+	c := HLCTimestamp{Wall: 2, Logical: 0}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("logical tiebreak broken")
+	}
+	if b.Compare(c) != -1 {
+		t.Fatal("wall ordering broken")
+	}
+}
+
+func TestVectorBasicOrdering(t *testing.T) {
+	v1 := NewVector().Tick("a")           // {a:1}
+	v2 := v1.Tick("a")                    // {a:2}
+	if v1.Compare(v2) != Before {
+		t.Fatalf("v1 vs v2 = %v, want before", v1.Compare(v2))
+	}
+	if v2.Compare(v1) != After {
+		t.Fatalf("v2 vs v1 = %v, want after", v2.Compare(v1))
+	}
+	if v1.Compare(v1) != Equal {
+		t.Fatalf("v1 vs v1 = %v, want equal", v1.Compare(v1))
+	}
+}
+
+func TestVectorConcurrent(t *testing.T) {
+	base := NewVector().Tick("a")
+	left := base.Tick("b")
+	right := base.Tick("c")
+	if got := left.Compare(right); got != Concurrent {
+		t.Fatalf("left vs right = %v, want concurrent", got)
+	}
+}
+
+func TestVectorMerge(t *testing.T) {
+	a := Vector{"x": 3, "y": 1}
+	b := Vector{"x": 1, "z": 5}
+	m := a.Merge(b)
+	want := Vector{"x": 3, "y": 1, "z": 5}
+	if m.Compare(want) != Equal {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+	// Merge dominates both inputs.
+	if !m.DominatesOrEqual(a) || !m.DominatesOrEqual(b) {
+		t.Fatal("merge must dominate both inputs")
+	}
+}
+
+func TestVectorTickDoesNotAliasReceiver(t *testing.T) {
+	a := NewVector().Tick("a")
+	b := a.Tick("a")
+	if a["a"] != 1 || b["a"] != 2 {
+		t.Fatalf("Tick mutated receiver: a=%v b=%v", a, b)
+	}
+}
+
+func TestVectorMissingComponentTreatedAsZero(t *testing.T) {
+	a := Vector{}
+	b := Vector{"n": 1}
+	if got := a.Compare(b); got != Before {
+		t.Fatalf("{} vs {n:1} = %v, want before", got)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{"b": 2, "a": 1}
+	if got := v.String(); got != "{a:1,b:2}" {
+		t.Fatalf("String = %q, want sorted {a:1,b:2}", got)
+	}
+}
+
+// Property: merge is commutative, associative, idempotent, and dominates
+// its inputs — the semilattice laws causal stores rely on.
+func TestVectorMergeLattice(t *testing.T) {
+	gen := func(seed uint64) Vector {
+		v := NewVector()
+		ids := []string{"a", "b", "c"}
+		for i, id := range ids {
+			v[id] = (seed >> (8 * i)) % 16
+		}
+		return v
+	}
+	f := func(s1, s2, s3 uint64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if a.Merge(b).Compare(b.Merge(a)) != Equal {
+			return false // commutative
+		}
+		if a.Merge(b).Merge(c).Compare(a.Merge(b.Merge(c))) != Equal {
+			return false // associative
+		}
+		if a.Merge(a).Compare(a) != Equal {
+			return false // idempotent
+		}
+		return a.Merge(b).DominatesOrEqual(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	cases := map[Ordering]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent"}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", o, got, want)
+		}
+	}
+}

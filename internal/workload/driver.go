@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tca/internal/metrics"
+)
+
+// Op is the unit of work a driver executes.
+type Op func() error
+
+// DriverResult summarizes one load run.
+type DriverResult struct {
+	// Issued and Errors count operations.
+	Issued, Errors int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Latency is the response-time distribution. Under the open-loop
+	// driver it includes queueing delay from the request's scheduled
+	// arrival time — the number that explodes at saturation (ref [56]).
+	Latency metrics.Snapshot
+}
+
+// Throughput returns completed operations per second.
+func (r DriverResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Issued-r.Errors) / r.Elapsed.Seconds()
+}
+
+// ClosedLoop runs n client goroutines, each issuing ops back to back with
+// the given think time, for the given number of operations per client.
+// Closed systems self-throttle: when the server slows down, the arrival
+// rate drops with it, hiding saturation from the latency distribution.
+func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverResult {
+	hist := metrics.NewHistogram()
+	var errs int64
+	var errMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				t0 := time.Now()
+				err := op()
+				hist.RecordDuration(time.Since(t0))
+				if err != nil {
+					errMu.Lock()
+					errs++
+					errMu.Unlock()
+				}
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return DriverResult{
+		Issued:  int64(clients * opsPerClient),
+		Errors:  errs,
+		Elapsed: time.Since(start),
+		Latency: hist.Snapshot(),
+	}
+}
+
+// OpenLoop issues n operations with Poisson arrivals at the given rate
+// (ops/second), regardless of how the server keeps up. Latency is measured
+// from the *scheduled arrival time*, so queueing delay counts: when the
+// offered rate exceeds capacity, latency grows without bound — the
+// open-vs-closed contrast of ref [56].
+func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
+	rng := rand.New(rand.NewSource(seed))
+	hist := metrics.NewHistogram()
+	var errs int64
+	var errMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := start
+	for i := 0; i < n; i++ {
+		// Exponential inter-arrival.
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		next = next.Add(gap)
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		scheduled := next
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := op()
+			hist.RecordDuration(time.Since(scheduled))
+			if err != nil {
+				errMu.Lock()
+				errs++
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return DriverResult{
+		Issued:  int64(n),
+		Errors:  errs,
+		Elapsed: time.Since(start),
+		Latency: hist.Snapshot(),
+	}
+}
+
+// SpinService returns an Op that busy-spins for d with at most c
+// concurrent executions — a stand-in server with capacity c/d ops/sec,
+// used by the load-model experiments.
+func SpinService(c int, d time.Duration) Op {
+	slots := make(chan struct{}, c)
+	return func() error {
+		slots <- struct{}{}
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+		<-slots
+		return nil
+	}
+}
+
+// TheoreticalMM1Latency returns the M/M/1 expected response time for
+// offered load rho = lambda/mu and service time s — the analytic check the
+// open-loop experiment compares against.
+func TheoreticalMM1Latency(rho float64, s time.Duration) time.Duration {
+	if rho >= 1 {
+		return time.Duration(math.Inf(1))
+	}
+	return time.Duration(float64(s) / (1 - rho))
+}

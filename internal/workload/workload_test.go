@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBankGenDeterministic(t *testing.T) {
+	a, b := NewBank(7, 100, 0), NewBank(7, 100, 0)
+	for i := 0; i < 100; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestBankGenNeverSelfTransfer(t *testing.T) {
+	g := NewBank(1, 5, 0)
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.From == op.To {
+			t.Fatalf("self transfer at %d: %+v", i, op)
+		}
+		if op.From >= 5 || op.To >= 5 || op.From < 0 || op.To < 0 {
+			t.Fatalf("out of range: %+v", op)
+		}
+		if op.Amount <= 0 {
+			t.Fatalf("non-positive amount: %+v", op)
+		}
+	}
+}
+
+func TestBankGenHotFraction(t *testing.T) {
+	g := NewBank(1, 100, 0.5)
+	hot := 0
+	for i := 0; i < 2000; i++ {
+		if g.Next().From == 0 {
+			hot++
+		}
+	}
+	if hot < 800 || hot > 1300 {
+		t.Fatalf("hot transfers = %d of 2000, want ~50%%", hot)
+	}
+}
+
+func TestTPCCGenMix(t *testing.T) {
+	g := NewTPCC(3, DefaultTPCCConfig(4))
+	newOrders := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Kind == TPCCNewOrder {
+			newOrders++
+			if len(op.Items) < 5 || len(op.Items) > 15 {
+				t.Fatalf("order lines = %d, want 5..15", len(op.Items))
+			}
+		} else if op.Amount <= 0 {
+			t.Fatalf("payment with amount %d", op.Amount)
+		}
+		if op.Warehouse < 0 || op.Warehouse >= 4 {
+			t.Fatalf("warehouse out of range: %+v", op)
+		}
+		if op.Remote && op.RemoteWarehouse == op.Warehouse {
+			t.Fatalf("remote warehouse equals home: %+v", op)
+		}
+	}
+	frac := float64(newOrders) / n
+	if frac < 0.50 || frac > 0.60 {
+		t.Fatalf("new-order fraction = %.2f, want ~0.55", frac)
+	}
+}
+
+func TestTPCCKeysDeclared(t *testing.T) {
+	g := NewTPCC(3, DefaultTPCCConfig(2))
+	for i := 0; i < 200; i++ {
+		op := g.Next()
+		keys := op.Keys()
+		if len(keys) == 0 {
+			t.Fatal("empty key set")
+		}
+		seen := map[string]struct{}{}
+		for _, k := range keys {
+			if _, dup := seen[k]; dup {
+				t.Fatalf("duplicate key %s in %v", k, keys)
+			}
+			seen[k] = struct{}{}
+		}
+	}
+}
+
+func TestTPCCSingleWarehouseNeverRemote(t *testing.T) {
+	g := NewTPCC(3, DefaultTPCCConfig(1))
+	for i := 0; i < 500; i++ {
+		if g.Next().Remote {
+			t.Fatal("remote txn with a single warehouse")
+		}
+	}
+}
+
+func TestMarketGenMix(t *testing.T) {
+	g := NewMarket(9, DefaultMarketConfig())
+	counts := map[MarketKind]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	if f := float64(counts[MarketAddToCart]) / n; f < 0.55 || f > 0.65 {
+		t.Fatalf("cart fraction = %.2f, want ~0.60", f)
+	}
+	if f := float64(counts[MarketCheckout]) / n; f < 0.07 || f > 0.13 {
+		t.Fatalf("checkout fraction = %.2f, want ~0.10", f)
+	}
+	if counts[MarketQueryProduct] == 0 || counts[MarketUpdatePrice] == 0 {
+		t.Fatalf("missing op kinds: %v", counts)
+	}
+}
+
+func TestMarketZipfSkew(t *testing.T) {
+	g := NewMarket(9, DefaultMarketConfig())
+	hits := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		hits[g.Next().Product]++
+	}
+	// The hottest product should be much hotter than the median.
+	max := 0
+	for _, c := range hits {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/20 {
+		t.Fatalf("hottest product got %d of %d; zipf skew missing", max, n)
+	}
+}
+
+func TestSocialGraphShape(t *testing.T) {
+	g := NewSocial(4, 100, 32)
+	total := 0
+	for u := 0; u < 100; u++ {
+		n := g.FollowerCount(u)
+		if n < 1 || n > 33 {
+			t.Fatalf("user %d has %d followers", u, n)
+		}
+		total += n
+	}
+	op := g.Next()
+	if len(op.Followers) != g.FollowerCount(op.Author) {
+		t.Fatal("op followers mismatch graph")
+	}
+	for _, f := range op.Followers {
+		if f == op.Author {
+			t.Fatal("self-follow")
+		}
+	}
+}
+
+func TestClosedLoopCounts(t *testing.T) {
+	res := ClosedLoop(4, 25, 0, func() error { return nil })
+	if res.Issued != 100 || res.Errors != 0 {
+		t.Fatalf("issued=%d errors=%d", res.Issued, res.Errors)
+	}
+	if res.Latency.Count != 100 {
+		t.Fatalf("latency samples = %d", res.Latency.Count)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestClosedLoopSelfThrottles(t *testing.T) {
+	// One slot, slow service, many clients: closed loop cannot overload —
+	// measured latency stays near service time × queue of clients, and
+	// total time ≈ ops × service.
+	op := SpinService(1, 200*time.Microsecond)
+	res := ClosedLoop(4, 10, 0, op)
+	// p50 bounded by clients × service time (each op waits for at most the
+	// other 3 clients).
+	if res.Latency.P50 > int64(10*time.Millisecond) {
+		t.Fatalf("closed-loop p50 = %v, unexpectedly large", time.Duration(res.Latency.P50))
+	}
+}
+
+func TestOpenLoopBeyondCapacityExplodes(t *testing.T) {
+	// Capacity = 1 op / 200µs = 5000/s. Offer 4x that: queueing delay must
+	// blow past anything the closed-loop test sees.
+	op := SpinService(1, 200*time.Microsecond)
+	res := OpenLoop(11, 300, 20000, op)
+	if res.Latency.P90 < int64(2*time.Millisecond) {
+		t.Fatalf("open-loop p90 = %v; expected queueing explosion", time.Duration(res.Latency.P90))
+	}
+}
+
+func TestOpenLoopUnderCapacityModest(t *testing.T) {
+	op := SpinService(4, 100*time.Microsecond)
+	res := OpenLoop(11, 200, 2000, op) // rho = 2000 / 40000 = 0.05
+	if res.Latency.P50 > int64(5*time.Millisecond) {
+		t.Fatalf("open-loop p50 at low load = %v", time.Duration(res.Latency.P50))
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestTheoreticalMM1(t *testing.T) {
+	s := time.Millisecond
+	if got := TheoreticalMM1Latency(0.5, s); got != 2*time.Millisecond {
+		t.Fatalf("M/M/1 at rho=0.5 = %v, want 2ms", got)
+	}
+	if got := TheoreticalMM1Latency(1.0, s); got <= 0 {
+		t.Log("saturated M/M/1 reported as +Inf duration (overflow), acceptable")
+	}
+}

@@ -1,0 +1,241 @@
+package xa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tca/internal/fabric"
+	"tca/internal/store"
+)
+
+// env is a two-bank setup: orders DB and payments DB on separate nodes.
+type env struct {
+	cluster *fabric.Cluster
+	coord   *Coordinator
+	orders  *ResourceManager
+	pay     *ResourceManager
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	cl := fabric.NewCluster(fabric.DefaultConfig(), "coord", "orders", "payments")
+	ordersDB := store.NewDB(store.Config{Name: "orders", LockWaitTimeout: 200 * time.Millisecond})
+	ordersDB.CreateTable("orders")
+	payDB := store.NewDB(store.Config{Name: "payments", LockWaitTimeout: 200 * time.Millisecond})
+	payDB.CreateTable("accounts")
+	c := NewCoordinator(cl, "coord")
+	orders := NewResourceManager("orders", "orders", ordersDB)
+	pay := NewResourceManager("payments", "payments", payDB)
+	c.Enlist(orders)
+	c.Enlist(pay)
+	// Seed an account.
+	payDB.Update(func(tx *store.Txn) error {
+		return tx.Put("accounts", "alice", store.Row{"balance": int64(100)})
+	})
+	return &env{cluster: cl, coord: c, orders: orders, pay: pay}
+}
+
+func (e *env) placeOrder(gid string, amount int64, tr *fabric.Trace) error {
+	return e.coord.Run(gid, []string{"orders", "payments"}, tr, func(b map[string]*store.Txn) error {
+		if err := b["orders"].Put("orders", gid, store.Row{"amount": amount}); err != nil {
+			return err
+		}
+		acc, _, err := b["payments"].Get("accounts", "alice")
+		if err != nil {
+			return err
+		}
+		if acc.Int("balance") < amount {
+			return fmt.Errorf("insufficient funds")
+		}
+		return b["payments"].Put("accounts", "alice", store.Row{"balance": acc.Int("balance") - amount})
+	})
+}
+
+func (e *env) balance(t *testing.T) int64 {
+	t.Helper()
+	tx := e.pay.DB.Begin(store.ReadCommitted)
+	defer tx.Abort()
+	row, _, _ := tx.Get("accounts", "alice")
+	return row.Int("balance")
+}
+
+func (e *env) orderExists(t *testing.T, gid string) bool {
+	t.Helper()
+	tx := e.orders.DB.Begin(store.ReadCommitted)
+	defer tx.Abort()
+	_, ok, _ := tx.Get("orders", gid)
+	return ok
+}
+
+func TestCommitBothBranches(t *testing.T) {
+	e := newEnv(t)
+	tr := fabric.NewTrace()
+	if err := e.placeOrder("g1", 40, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !e.orderExists(t, "g1") {
+		t.Fatal("order branch not committed")
+	}
+	if got := e.balance(t); got != 60 {
+		t.Fatalf("balance = %d, want 60", got)
+	}
+	// 2PC coordination: 2 participants × (prepare + commit) round trips.
+	if tr.Hops() < 8 {
+		t.Fatalf("hops = %d, want >= 8", tr.Hops())
+	}
+}
+
+func TestBusinessFailureAbortsAll(t *testing.T) {
+	e := newEnv(t)
+	err := e.placeOrder("g2", 1000, nil) // insufficient funds
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if e.orderExists(t, "g2") {
+		t.Fatal("order branch visible after abort (mixed outcome!)")
+	}
+	if got := e.balance(t); got != 100 {
+		t.Fatalf("balance = %d, want 100", got)
+	}
+}
+
+func TestNoMixedOutcomesUnderConcurrency(t *testing.T) {
+	e := newEnv(t)
+	var wg sync.WaitGroup
+	var commits int64
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gid := fmt.Sprintf("cc-%d", i)
+			if err := e.placeOrder(gid, 5, nil); err == nil {
+				mu.Lock()
+				commits++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every committed order must correspond to exactly 5 deducted.
+	want := 100 - commits*5
+	if got := e.balance(t); got != want {
+		t.Fatalf("balance = %d, want %d for %d commits", got, want, commits)
+	}
+	// And each committed gid has its order row.
+	for i := 0; i < 20; i++ {
+		gid := fmt.Sprintf("cc-%d", i)
+		tx := e.pay.DB.Begin(store.ReadCommitted)
+		tx.Abort()
+		_ = gid
+	}
+}
+
+func TestPreparedParticipantBlocks(t *testing.T) {
+	// Coordinator crashes before the decision: the participant stays in
+	// doubt, holding locks — the blocking property of 2PC (§4.2).
+	e := newEnv(t)
+	e.coord.CrashBeforeDecision = true
+	err := e.placeOrder("g3", 10, nil)
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("err = %v, want ErrInDoubt", err)
+	}
+	if got := e.pay.InDoubt(); len(got) != 1 {
+		t.Fatalf("in-doubt = %v, want 1 entry", got)
+	}
+	// Another transaction touching alice's account blocks and times out.
+	tx := e.pay.DB.Begin(store.Locking2PL)
+	defer tx.Abort()
+	_, _, err = tx.Get("accounts", "alice")
+	if err == nil {
+		t.Fatal("read of in-doubt-locked key should block/timeout")
+	}
+}
+
+func TestParticipantRecoveryPresumedAbort(t *testing.T) {
+	e := newEnv(t)
+	e.coord.CrashBeforeDecision = true
+	e.placeOrder("g4", 10, nil)
+	n := e.pay.RecoverPresumedAbort()
+	if n == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if got := e.balance(t); got != 100 {
+		t.Fatalf("balance = %d after presumed abort, want 100", got)
+	}
+	// Locks released: normal access works again.
+	tx := e.pay.DB.Begin(store.Locking2PL)
+	defer tx.Abort()
+	if _, _, err := tx.Get("accounts", "alice"); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestCoordinatorRecoveryCompletesLoggedCommit(t *testing.T) {
+	// Crash after the decision hit the log but before participants heard:
+	// Recover must finish the commit, not abort it.
+	e := newEnv(t)
+	e.coord.CrashAfterDecision = true
+	err := e.placeOrder("g5", 25, nil)
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("err = %v, want ErrInDoubt", err)
+	}
+	committed, _, err := e.coord.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 1 {
+		t.Fatalf("recovered commits = %d, want 1", committed)
+	}
+	if got := e.balance(t); got != 75 {
+		t.Fatalf("balance = %d, want 75 (logged decision must win)", got)
+	}
+	if !e.orderExists(t, "g5") {
+		t.Fatal("order missing after recovery commit")
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	e := newEnv(t)
+	e.coord.CrashAfterDecision = true
+	e.placeOrder("g6", 10, nil)
+	e.coord.Recover()
+	committed, aborted, err := e.coord.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 0 || aborted != 0 {
+		t.Fatalf("second Recover = %d commits, %d aborts; want 0, 0", committed, aborted)
+	}
+	if got := e.balance(t); got != 90 {
+		t.Fatalf("balance = %d, want 90 (no double-apply)", got)
+	}
+}
+
+func TestUnknownResourceManager(t *testing.T) {
+	e := newEnv(t)
+	err := e.coord.Run("g7", []string{"ghost"}, nil, func(map[string]*store.Txn) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for unknown RM")
+	}
+}
+
+func TestSingleParticipantDegeneratesGracefully(t *testing.T) {
+	e := newEnv(t)
+	err := e.coord.Run("g8", []string{"payments"}, nil, func(b map[string]*store.Txn) error {
+		acc, _, err := b["payments"].Get("accounts", "alice")
+		if err != nil {
+			return err
+		}
+		return b["payments"].Put("accounts", "alice", store.Row{"balance": acc.Int("balance") - 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.balance(t); got != 99 {
+		t.Fatalf("balance = %d, want 99", got)
+	}
+}

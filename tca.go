@@ -1,0 +1,146 @@
+// Package tca (Transactional Cloud Applications) is the public face of this
+// repository: an executable rendition of the taxonomy in Figure 1 of
+// "Transactional Cloud Applications: Status Quo, Challenges, and
+// Opportunities" (SIGMOD-Companion 2025).
+//
+// The paper organizes the landscape along three axes — programming model,
+// messaging, and state management — and three requirements: fault
+// tolerance, consistency, and lifecycle. This package lets you instantiate
+// the *same application* (a bank with transfers, the running example of the
+// transactional-cloud-apps literature) under every programming model the
+// paper surveys, with honest guarantees for each:
+//
+//	model            messaging      state          transfer guarantee
+//	-----            ---------      -----          ------------------
+//	Microservices    REST (sync)    external DB    saga: atomic eventually, no isolation
+//	Actors           async msgs     external DB    2PC + 2PL: serializable, blocking
+//	CloudFunctions   sync invoke    entity store   entity locks: atomic, deadlock-free
+//	StatefulDataflow log (async)    embedded       exactly-once, NO isolation
+//	Deterministic    log (async)    embedded       serializable + exactly-once (Styx-like)
+//
+// Construct a cell with NewBank and drive it with the workload generators
+// in internal/workload; the repository's bench suite (bench_test.go) does
+// exactly that for every experiment in EXPERIMENTS.md.
+package tca
+
+import (
+	"fmt"
+
+	"tca/internal/fabric"
+	"tca/internal/mq"
+)
+
+// ProgrammingModel is the first axis of Figure 1.
+type ProgrammingModel int
+
+// The programming models of §3.1.
+const (
+	Microservices ProgrammingModel = iota
+	Actors
+	CloudFunctions
+	StatefulDataflow
+	// Deterministic is the §5 "opportunity": the Styx-like deterministic
+	// transactional dataflow runtime (internal/core).
+	Deterministic
+)
+
+func (m ProgrammingModel) String() string {
+	switch m {
+	case Microservices:
+		return "microservices"
+	case Actors:
+		return "actors"
+	case CloudFunctions:
+		return "cloud-functions"
+	case StatefulDataflow:
+		return "stateful-dataflow"
+	case Deterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Messaging is the second axis of Figure 1.
+type Messaging int
+
+// Messaging styles of §3.2.
+const (
+	REST Messaging = iota
+	Queues
+)
+
+func (m Messaging) String() string {
+	if m == REST {
+		return "rest"
+	}
+	return "queues"
+}
+
+// StatePlacement is the third axis of Figure 1 (embedded vs external).
+type StatePlacement int
+
+// State placements of §3.3.
+const (
+	ExternalState StatePlacement = iota
+	EmbeddedState
+)
+
+func (s StatePlacement) String() string {
+	if s == ExternalState {
+		return "external"
+	}
+	return "embedded"
+}
+
+// Env is the shared infrastructure an application deploys onto: the
+// simulated cluster and the message broker.
+type Env struct {
+	Cluster *fabric.Cluster
+	Broker  *mq.Broker
+}
+
+// NewEnv creates a healthy n-node environment with the given seed.
+func NewEnv(seed int64, nodes int) *Env {
+	if nodes < 1 {
+		nodes = 3
+	}
+	cfg := fabric.DefaultConfig()
+	cfg.Seed = seed
+	ids := make([]fabric.NodeID, nodes)
+	for i := range ids {
+		ids[i] = fabric.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	return &Env{Cluster: fabric.NewCluster(cfg, ids...), Broker: mq.NewBroker()}
+}
+
+// NewChaosEnv is NewEnv with message drop and duplication probabilities —
+// the failure modes of §3.2/§4.1.
+func NewChaosEnv(seed int64, nodes int, dropProb, dupProb float64) *Env {
+	env := NewEnv(seed, nodes)
+	cfg := fabric.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DropProb = dropProb
+	cfg.DupProb = dupProb
+	ids := make([]fabric.NodeID, nodes)
+	for i := range ids {
+		ids[i] = fabric.NodeID(fmt.Sprintf("node-%d", i))
+	}
+	env.Cluster = fabric.NewCluster(cfg, ids...)
+	env.Broker = mq.NewBroker().WithChaos(env.Cluster)
+	return env
+}
+
+// Guarantee describes what a deployment cell actually promises — the
+// honesty layer of the taxonomy.
+type Guarantee struct {
+	Atomic       bool   // transfers are all-or-nothing (eventually, for sagas)
+	Isolated     bool   // concurrent observers cannot see intermediate states
+	ExactlyOnce  bool   // retries/replays do not double-apply
+	Note         string // one-line caveat
+}
+
+func (g Guarantee) String() string {
+	return fmt.Sprintf("atomic=%v isolated=%v exactly-once=%v (%s)",
+		g.Atomic, g.Isolated, g.ExactlyOnce, g.Note)
+}
