@@ -1,0 +1,21 @@
+# verify is what CI runs (.github/workflows/ci.yml): formatting, vet,
+# build, and the full test suite under the race detector.
+.PHONY: verify fmt test bench
+
+verify:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	go vet ./...
+	go build ./...
+	go test -race ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1000x

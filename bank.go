@@ -47,8 +47,14 @@ type Bank interface {
 
 func acctKey(n int) string { return fmt.Sprintf("acct/%d", n) }
 
-// NewBank instantiates the bank under the given model on env.
+// NewBank instantiates the bank under the given model on env with default
+// options.
 func NewBank(model ProgrammingModel, env *Env) (Bank, error) {
+	return NewBankWith(model, env, Options{})
+}
+
+// NewBankWith instantiates the bank under the given model on env.
+func NewBankWith(model ProgrammingModel, env *Env, opts Options) (Bank, error) {
 	switch model {
 	case Microservices:
 		return newMicroBank(env), nil
@@ -59,7 +65,7 @@ func NewBank(model ProgrammingModel, env *Env) (Bank, error) {
 	case StatefulDataflow:
 		return newStatefunBank(env)
 	case Deterministic:
-		return newCoreBank(env)
+		return newCoreBank(env, opts)
 	default:
 		return nil, fmt.Errorf("tca: unknown model %v", model)
 	}
@@ -476,8 +482,8 @@ type coreBank struct {
 	seq atomic.Int64
 }
 
-func newCoreBank(env *Env) (*coreBank, error) {
-	rt := core.NewRuntime(env.Broker, core.Config{Name: "corebank", Cluster: env.Cluster})
+func newCoreBank(env *Env, opts Options) (*coreBank, error) {
+	rt := core.NewRuntime(env.Broker, core.Config{Name: "corebank", Cluster: env.Cluster, Partitions: opts.Partitions})
 	rt.Register("transfer", func(tx *core.Tx, args []byte) ([]byte, error) {
 		var r struct {
 			From, To string

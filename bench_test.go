@@ -923,6 +923,114 @@ func executeMarketSaga(db *store.DB, orch *saga.Orchestrator, op workload.Market
 	}
 }
 
+// --- E16: core partition scaling ---------------------------------------------------------------------------
+
+// BenchmarkE16_CorePartitionScaling sweeps the deterministic runtime's
+// partition count at varying cross-partition transaction ratios — the
+// scaling curve the Styx/Calvin line of work leads with. Transfers between
+// accounts homed on the same partition ride a single log with zero
+// coordination; cross-partition transfers pay one global-sequencer pass.
+// SequenceDelay models the durable-append await of a real log (~80µs
+// fsync/replication), which is exactly the per-record cost sharding
+// overlaps: one partition pays it serially, N partitions pay it N-wide.
+func BenchmarkE16_CorePartitionScaling(b *testing.B) {
+	const accounts = 256
+	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
+	for _, parts := range []int{1, 2, 4, 8} {
+		for _, crossPct := range []int{0, 10, 50} {
+			if parts == 1 && crossPct > 0 {
+				continue // a single partition has no cross-partition transactions
+			}
+			b.Run(fmt.Sprintf("partitions=%d/cross=%d%%", parts, crossPct), func(b *testing.B) {
+				rt := core.NewRuntime(mq.NewBroker(), core.Config{
+					Name:          fmt.Sprintf("e16-%d-%d-%d", parts, crossPct, b.N),
+					Workers:       16,
+					Partitions:    parts,
+					SequenceDelay: 80 * time.Microsecond,
+				})
+				type transferArgs struct {
+					From, To string
+					Amount   int64
+				}
+				rt.Register("transfer", func(tx *core.Tx, args []byte) ([]byte, error) {
+					var r transferArgs
+					if err := json.Unmarshal(args, &r); err != nil {
+						return nil, err
+					}
+					var fbal, tbal int64
+					if raw, _, _ := tx.Get(r.From); raw != nil {
+						json.Unmarshal(raw, &fbal)
+					}
+					if raw, _, _ := tx.Get(r.To); raw != nil {
+						json.Unmarshal(raw, &tbal)
+					}
+					fraw, _ := json.Marshal(fbal - r.Amount)
+					traw, _ := json.Marshal(tbal + r.Amount)
+					if err := tx.Put(r.From, fraw); err != nil {
+						return nil, err
+					}
+					return nil, tx.Put(r.To, traw)
+				})
+				if err := rt.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer rt.Stop()
+				// Pre-compute account pairs by home partition: same-partition
+				// pairs are the shard-local common case, cross-partition pairs
+				// exercise the sequencer.
+				byPart := make(map[int][]int)
+				for a := 0; a < accounts; a++ {
+					p := rt.PartitionOf(acct(a))
+					byPart[p] = append(byPart[p], a)
+				}
+				var same, cross [][2]int
+				for _, group := range byPart {
+					for i := 0; i+1 < len(group); i += 2 {
+						same = append(same, [2]int{group[i], group[i+1]})
+					}
+				}
+				groups := make([][]int, 0, len(byPart))
+				for _, g := range byPart {
+					groups = append(groups, g)
+				}
+				for i := 0; len(groups) > 1 && i < accounts/2; i++ {
+					ga, gb := groups[i%len(groups)], groups[(i+1)%len(groups)]
+					cross = append(cross, [2]int{ga[i%len(ga)], gb[i%len(gb)]})
+				}
+				if len(same) == 0 {
+					b.Fatal("no same-partition account pair")
+				}
+				var seq atomic.Int64
+				// Enough closed-loop clients to keep every partition's
+				// pipeline full; throughput is log-bound, not client-bound.
+				b.SetParallelism(64)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := seq.Add(1)
+						pair := same[int(i)%len(same)]
+						if int(i%100) < crossPct && len(cross) > 0 {
+							pair = cross[int(i)%len(cross)]
+						}
+						args, _ := json.Marshal(transferArgs{From: acct(pair[0]), To: acct(pair[1]), Amount: 1})
+						if _, err := rt.Submit(fmt.Sprintf("e16-%d", i), "transfer",
+							[]string{acct(pair[0]), acct(pair[1])}, args, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+				if n := int64(b.N); n > 0 {
+					crossCommits := rt.Metrics().Counter("core.cross_commits").Value()
+					b.ReportMetric(100*float64(crossCommits)/float64(n), "cross-%")
+				}
+			})
+		}
+	}
+}
+
 // --- statefun peek support for E7 -----------------------------------------------------
 
 // PeekBalance reads a statefun account balance without settling: it asks

@@ -8,13 +8,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"tca"
-	"tca/internal/fabric"
+	"tca/internal/core"
 	"tca/internal/faas"
+	"tca/internal/fabric"
 	"tca/internal/metrics"
+	"tca/internal/mq"
 	"tca/internal/workload"
 )
 
@@ -26,6 +29,7 @@ func main() {
 	runF1(w, *ops)
 	runE6(w, *ops)
 	runE10(w, *ops)
+	runE16(w, *ops)
 	w.Flush()
 }
 
@@ -103,6 +107,70 @@ func runE6(w *tabwriter.Writer, ops int) {
 			time.Duration(snap.P50).Round(time.Microsecond),
 			time.Duration(snap.P99).Round(time.Microsecond),
 			p.Metrics().Counter("faas.cold_starts").Value())
+	}
+	fmt.Fprintln(w)
+}
+
+// runE16 prints the deterministic core's partition-scaling experiment:
+// the same transfer workload against 1/2/4/8 log partitions, all
+// shard-local traffic, with a modeled 80µs per-record append latency —
+// the serial cost sharding overlaps.
+func runE16(w *tabwriter.Writer, ops int) {
+	fmt.Fprintln(w, "E16: core partition scaling — shard-local transfers, modeled 80µs/record log append")
+	fmt.Fprintln(w, "partitions\tthroughput\tspeedup")
+	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
+	var base float64
+	for _, parts := range []int{1, 2, 4, 8} {
+		rt := core.NewRuntime(mq.NewBroker(), core.Config{
+			Name:          fmt.Sprintf("bench16-%d", parts),
+			Workers:       16,
+			Partitions:    parts,
+			SequenceDelay: 80 * time.Microsecond,
+		})
+		rt.Register("touch", func(tx *core.Tx, args []byte) ([]byte, error) {
+			key := string(args)
+			raw, _, _ := tx.Get(key)
+			return nil, tx.Put(key, append(raw[:len(raw):len(raw)], 'x'))
+		})
+		if err := rt.Start(); err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", parts, err)
+			continue
+		}
+		const accounts = 256
+		// Shard-local only: pair each account with a partition-mate.
+		byPart := make(map[int][]int)
+		for a := 0; a < accounts; a++ {
+			p := rt.PartitionOf(acct(a))
+			byPart[p] = append(byPart[p], a)
+		}
+		var pairs [][2]int
+		for _, group := range byPart {
+			for i := 0; i+1 < len(group); i += 2 {
+				pairs = append(pairs, [2]int{group[i], group[i+1]})
+			}
+		}
+		const clients = 64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < ops; i += clients {
+					pair := pairs[i%len(pairs)]
+					keys := []string{acct(pair[0]), acct(pair[1])}
+					rt.Submit(fmt.Sprintf("e16-%d-%d", parts, i), "touch", keys, []byte(keys[0]), nil)
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		rt.Stop()
+		rate := float64(ops) / elapsed.Seconds()
+		if parts == 1 {
+			base = rate
+		}
+		fmt.Fprintf(w, "%d\t%.0f tx/s\t%.1fx\n", parts, rate, rate/base)
 	}
 	fmt.Fprintln(w)
 }

@@ -5,7 +5,7 @@
 // engine in the style of Styx [52] and the transactional-dataflow line of
 // work the authors survey (§4.2, refs [21, 22, 51]):
 //
-//   - Every transaction is appended to a durable input log; its log offset
+//   - Every transaction is appended to a durable input log; its log position
 //     is its global transaction id. The log IS the sequencer.
 //   - Execution is deterministic: transactions apply in log order, with
 //     non-conflicting transactions (disjoint key sets) running in
@@ -14,9 +14,34 @@
 //     messages and *without* 2PC — the cost the Orleans-style coordinator
 //     pays (experiments E1/E14 quantify the difference).
 //   - Exactly-once: state snapshots are taken together with the input
-//     offset; recovery reloads the snapshot and replays the log suffix.
+//     offsets; recovery reloads the snapshot and replays the log suffix.
 //     Determinism makes the replay bit-for-bit identical, and a result
 //     cache keyed by client request id makes Submit idempotent.
+//
+// # Sharding
+//
+// The key space is hash-partitioned across Config.Partitions input-log
+// partitions (Calvin-style; E16 measures the scaling curve). Each partition
+// owns one "<name>-txlog" partition and one scheduler loop:
+//
+//   - A transaction whose declared keys all hash to one partition appends to
+//     that partition's log and executes with zero cross-shard coordination —
+//     its position in the home partition's log is its order.
+//   - A transaction spanning partitions appends to the single-partition
+//     global sequence topic "<name>-gseq". A lone sequencer goroutine
+//     interleaves each such transaction into every involved partition's log
+//     (idempotently, keyed by its global sequence offset), so all partitions
+//     agree on the relative order of cross-partition transactions. Each
+//     partition executor wires the transaction into its own per-key
+//     dependency chains at the marker's log position; the last partition to
+//     reach its marker launches execution.
+//
+// The combined schedule stays conflict-equivalent to a serial order: keys
+// are owned by exactly one partition, so conflicts within a partition
+// follow that partition's log order, and every partition log agrees with
+// the global sequence order on cross-partition transactions — the conflict
+// graph is acyclic. Partitions = 1 degenerates to exactly the single-log
+// runtime (no sequence topic, no extra machinery).
 //
 // Transactions declare their key set up front (Calvin-style reconnaissance;
 // Styx discovers it dynamically — the declared-keys simplification keeps the
@@ -57,7 +82,9 @@ type Tx struct {
 	dels   map[string]struct{}
 }
 
-// TID returns the transaction's global id (its input-log offset).
+// TID returns the transaction's global id. A single-partition transaction's
+// id encodes (home-partition log offset, partition); a cross-partition
+// transaction's id is its global sequence offset.
 func (t *Tx) TID() int64 { return t.tid }
 
 // Get reads a declared key.
@@ -112,6 +139,19 @@ type Config struct {
 	Name string
 	// Workers bounds concurrently executing transactions. Zero means 8.
 	Workers int
+	// Partitions shards the key space across that many input-log partitions,
+	// each with its own scheduler loop. Zero or one means a single log —
+	// exactly the pre-sharding semantics.
+	Partitions int
+	// SequenceDelay models the per-record latency of durably appending and
+	// order-stamping one record at a log partition — the fsync/replication
+	// await of a real durable log (cf. store.Config.ServiceTime, which
+	// models CPU-bound database work by spinning; an append await leaves
+	// the CPU free, so it sleeps). It is paid serially within a partition's
+	// scheduler loop, and per cross-partition record at the global
+	// sequencer, but overlaps across partitions — the latency sharding
+	// hides, which E16 measures. Zero (the default) disables the model.
+	SequenceDelay time.Duration
 	// ResultTimeout bounds Submit waits. Zero means 10s.
 	ResultTimeout time.Duration
 	// Cluster, when set, charges Submit's sequencer and reply hops to the
@@ -126,19 +166,40 @@ type Result struct {
 	TID   int64
 }
 
-// request is the input-log wire format.
+// request is the input-log wire format. GSeq is zero for transactions
+// appended directly to their home partition; the sequencer stamps
+// cross-partition markers with their global sequence offset + 1.
 type request struct {
 	ReqID string   `json:"r"`
 	Fn    string   `json:"f"`
 	Keys  []string `json:"k"`
 	Args  []byte   `json:"a"`
+	GSeq  int64    `json:"g,omitempty"`
+}
+
+// crossTxn gathers one cross-partition transaction while the involved
+// partition executors reach its markers. Every joiner splices the shared
+// done channel into the chains of the keys its partition owns, so
+// successors in every partition wait on the same completion event; the last
+// joiner launches execution.
+type crossTxn struct {
+	tid    int64
+	req    request
+	need   int
+	joined map[int]bool
+	waits  []chan struct{}
+	done   chan struct{}
 }
 
 // Runtime is the deterministic transactional engine.
 type Runtime struct {
 	cfg    Config
+	nparts int
 	broker *mq.Broker
 	m      *metrics.Registry
+
+	// per-partition commit counters, resolved once, off the hot path.
+	partCommits []*metrics.Counter
 
 	fnMu sync.RWMutex
 	fns  map[string]TxnFunc
@@ -146,18 +207,24 @@ type Runtime struct {
 	stateMu sync.Mutex
 	state   map[string][]byte
 
-	// scheduler: per-key tail of the dependency chain.
+	// scheduler: per-key tail of the dependency chain. A key is owned by
+	// exactly one partition, so two executors never race on the same
+	// entry's order, only on the map itself.
 	schedMu sync.Mutex
 	tails   map[string]chan struct{}
 	sem     chan struct{}
 
 	// results: cache (exactly-once client semantics) + waiters. scheduled
 	// guards against double execution when the same request id appears
-	// twice in the log (concurrent client retries).
+	// twice in a partition log (concurrent client retries).
 	resMu     sync.Mutex
 	results   map[string]Result
 	waiters   map[string][]chan Result
 	scheduled map[string]struct{}
+
+	// cross-partition transactions currently being gathered.
+	crossMu sync.Mutex
+	cross   map[string]*crossTxn
 
 	// checkpoint survives Crash, like the dataflow checkpoint store
 	// (models durable snapshot storage).
@@ -167,48 +234,87 @@ type Runtime struct {
 	runMu    sync.Mutex
 	running  bool
 	stop     chan struct{}
-	wake     chan struct{} // poked by Submit so the executor needn't poll
+	wakes    []chan struct{} // poked by Submit so executors needn't poll
+	seqWake  chan struct{}
 	wg       sync.WaitGroup
 	inflight sync.WaitGroup
 
-	offMu  sync.Mutex
-	offset int64
+	offMu   sync.Mutex
+	offsets []int64 // next input-log offset, per partition
+
+	seqMu   sync.Mutex
+	seqOff  int64               // next global-sequence offset to consume
+	seqSeen map[string]struct{} // request ids already sequenced (dedup)
 }
 
 type snapshot struct {
-	offset  int64
+	offsets []int64
+	seqOff  int64
+	seqSeen map[string]struct{}
 	state   map[string][]byte
 	results map[string]Result
 }
 
 // NewRuntime creates a runtime over the broker. The input log is the topic
-// "<name>-txlog" with a single partition: the log is the sequencer, and a
-// single total order is what makes execution deterministic.
+// "<name>-txlog" with cfg.Partitions partitions; cross-partition
+// transactions are ordered through the single-partition "<name>-gseq".
 func NewRuntime(broker *mq.Broker, cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
 	if cfg.ResultTimeout <= 0 {
 		cfg.ResultTimeout = 10 * time.Second
 	}
-	broker.CreateTopic(cfg.Name+"-txlog", 1)
+	broker.CreateTopic(cfg.Name+"-txlog", cfg.Partitions)
+	// The topic may pre-exist with a different partition count; the log is
+	// authoritative, so shard the runtime the way the log is sharded.
+	nparts, _ := broker.Partitions(cfg.Name + "-txlog")
+	if nparts <= 0 {
+		nparts = 1
+	}
+	if nparts > 1 {
+		broker.CreateTopic(cfg.Name+"-gseq", 1)
+	}
+	m := metrics.NewRegistry()
+	partCommits := make([]*metrics.Counter, nparts)
+	wakes := make([]chan struct{}, nparts)
+	for p := 0; p < nparts; p++ {
+		partCommits[p] = m.Counter(fmt.Sprintf("core.partition.%d.commits", p))
+		wakes[p] = make(chan struct{}, 1)
+	}
 	return &Runtime{
-		cfg:     cfg,
-		broker:  broker,
-		m:       metrics.NewRegistry(),
-		fns:     make(map[string]TxnFunc),
-		state:   make(map[string][]byte),
-		tails:   make(map[string]chan struct{}),
-		sem:     make(chan struct{}, cfg.Workers),
-		results:   make(map[string]Result),
-		waiters:   make(map[string][]chan Result),
-		scheduled: make(map[string]struct{}),
-		wake:      make(chan struct{}, 1),
+		cfg:         cfg,
+		nparts:      nparts,
+		broker:      broker,
+		m:           m,
+		partCommits: partCommits,
+		fns:         make(map[string]TxnFunc),
+		state:       make(map[string][]byte),
+		tails:       make(map[string]chan struct{}),
+		sem:         make(chan struct{}, cfg.Workers),
+		results:     make(map[string]Result),
+		waiters:     make(map[string][]chan Result),
+		scheduled:   make(map[string]struct{}),
+		cross:       make(map[string]*crossTxn),
+		wakes:       wakes,
+		seqWake:     make(chan struct{}, 1),
+		offsets:     make([]int64, nparts),
+		seqSeen:     make(map[string]struct{}),
 	}
 }
 
 // Metrics returns the runtime's instruments.
 func (r *Runtime) Metrics() *metrics.Registry { return r.m }
+
+// Partitions returns the number of input-log partitions the runtime shards
+// the key space across.
+func (r *Runtime) Partitions() int { return r.nparts }
+
+// PartitionOf returns the home partition of a key.
+func (r *Runtime) PartitionOf(key string) int { return partitionForKey(key, r.nparts) }
 
 // Register binds a function name to its body.
 func (r *Runtime) Register(name string, fn TxnFunc) {
@@ -217,11 +323,42 @@ func (r *Runtime) Register(name string, fn TxnFunc) {
 	r.fns[name] = fn
 }
 
-func (r *Runtime) logTopic() mq.TopicPartition {
-	return mq.TopicPartition{Topic: r.cfg.Name + "-txlog", Partition: 0}
+func (r *Runtime) logTopic(part int) mq.TopicPartition {
+	return mq.TopicPartition{Topic: r.cfg.Name + "-txlog", Partition: part}
 }
 
-// Start launches the executor from the latest checkpoint.
+func (r *Runtime) seqTopic() mq.TopicPartition {
+	return mq.TopicPartition{Topic: r.cfg.Name + "-gseq", Partition: 0}
+}
+
+// partitionForKey maps a key to its home partition with the broker's own
+// partitioning hash, so the runtime homes keys exactly where the broker
+// would spread them.
+func partitionForKey(key string, n int) int {
+	return mq.PartitionForKey(key, n)
+}
+
+// partitionsOf returns the sorted distinct home partitions of a key set.
+// An empty key set homes on partition 0.
+func (r *Runtime) partitionsOf(keys []string) []int {
+	if r.nparts == 1 || len(keys) == 0 {
+		return []int{0}
+	}
+	seen := make(map[int]struct{}, len(keys))
+	parts := make([]int, 0, len(keys))
+	for _, k := range keys {
+		p := partitionForKey(k, r.nparts)
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			parts = append(parts, p)
+		}
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// Start launches the partition executors (and, when sharded, the global
+// sequencer) from the latest checkpoint.
 func (r *Runtime) Start() error {
 	r.runMu.Lock()
 	defer r.runMu.Unlock()
@@ -236,66 +373,211 @@ func (r *Runtime) Start() error {
 		r.resMu.Lock()
 		r.results = cloneResults(ck.results)
 		r.resMu.Unlock()
-		r.setOffset(ck.offset)
+		r.offMu.Lock()
+		copy(r.offsets, ck.offsets)
+		r.offMu.Unlock()
+		r.seqMu.Lock()
+		r.seqOff = ck.seqOff
+		r.seqSeen = cloneSet(ck.seqSeen)
+		r.seqMu.Unlock()
 	} else {
-		r.setOffset(0)
+		r.offMu.Lock()
+		for p := range r.offsets {
+			r.offsets[p] = 0
+		}
+		r.offMu.Unlock()
+		r.seqMu.Lock()
+		r.seqOff = 0
+		r.seqSeen = make(map[string]struct{})
+		r.seqMu.Unlock()
 	}
 	r.ckMu.Unlock()
 	r.stop = make(chan struct{})
 	r.running = true
-	r.wg.Add(1)
-	go r.runExecutor(r.stop)
+	for p := 0; p < r.nparts; p++ {
+		r.wg.Add(1)
+		go r.runExecutor(p, r.stop)
+	}
+	if r.nparts > 1 {
+		r.wg.Add(1)
+		go r.runSequencer(r.stop)
+	}
 	return nil
 }
 
-func (r *Runtime) setOffset(v int64) {
+func (r *Runtime) setOffset(part int, v int64) {
 	r.offMu.Lock()
-	r.offset = v
+	r.offsets[part] = v
 	r.offMu.Unlock()
 }
 
-func (r *Runtime) getOffset() int64 {
+func (r *Runtime) getOffset(part int) int64 {
 	r.offMu.Lock()
 	defer r.offMu.Unlock()
-	return r.offset
+	return r.offsets[part]
 }
 
-// runExecutor consumes the input log in order and schedules transactions.
-func (r *Runtime) runExecutor(stop chan struct{}) {
+func (r *Runtime) getSeqOff() int64 {
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
+	return r.seqOff
+}
+
+// wake pokes one partition executor without blocking.
+func (r *Runtime) wake(part int) {
+	select {
+	case r.wakes[part] <- struct{}{}:
+	default:
+	}
+}
+
+// pace throttles a log-consuming loop to one record per SequenceDelay,
+// modeling the serial durable-append/ordering latency of a real log
+// partition. Owed delay accumulates and is slept in quanta of at least a
+// millisecond — group-commit style — so coarse OS timer granularity cannot
+// distort the modeled rate; measured oversleep is credited back.
+func (r *Runtime) pace(owed time.Duration, records int) time.Duration {
+	owed += r.cfg.SequenceDelay * time.Duration(records)
+	if owed >= time.Millisecond {
+		start := time.Now()
+		time.Sleep(owed)
+		owed -= time.Since(start)
+	}
+	return owed
+}
+
+// runExecutor consumes one input-log partition in order and schedules its
+// transactions. One loop per partition is the parallelism sharding buys:
+// decoding and scheduling of disjoint partitions never serializes behind a
+// single goroutine.
+func (r *Runtime) runExecutor(part int, stop chan struct{}) {
 	defer r.wg.Done()
+	var owed time.Duration
 	for {
 		select {
 		case <-stop:
 			return
 		default:
 		}
-		msgs, err := r.broker.Fetch(r.logTopic(), r.getOffset(), 128)
+		msgs, err := r.broker.Fetch(r.logTopic(part), r.getOffset(part), 128)
 		if err != nil || len(msgs) == 0 {
 			select {
 			case <-stop:
 				return
-			case <-r.wake:
+			case <-r.wakes[part]:
 			case <-time.After(time.Millisecond):
 			}
 			continue
 		}
-		for _, m := range msgs {
-			r.schedule(m.Offset, m.Value, stop)
+		if r.cfg.SequenceDelay > 0 {
+			owed = r.pace(owed, len(msgs))
 		}
-		r.setOffset(msgs[len(msgs)-1].Offset + 1)
+		for _, m := range msgs {
+			r.schedule(part, m.Offset, m.Value, stop)
+		}
+		r.setOffset(part, msgs[len(msgs)-1].Offset+1)
 	}
 }
 
-// schedule wires the transaction into the per-key dependency chains and
-// launches it. Scheduling happens in log order, so chain order == log
-// order; execution may interleave but only between non-conflicting
-// transactions — conflict-equivalent to the serial log order.
-func (r *Runtime) schedule(tid int64, raw []byte, stop chan struct{}) {
+// runSequencer consumes the global sequence topic and interleaves each
+// cross-partition transaction into every involved partition's log, in
+// global sequence order. A single writer means all partitions observe
+// cross-partition transactions in the same relative order, which keeps the
+// combined conflict graph acyclic. Marker appends are idempotent (producer
+// id + global sequence offset), so replaying the sequence suffix after a
+// crash never duplicates a marker the broker already holds.
+func (r *Runtime) runSequencer(stop chan struct{}) {
+	defer r.wg.Done()
+	producerID := r.cfg.Name + "-seq"
+	var owed time.Duration
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		msgs, err := r.broker.Fetch(r.seqTopic(), r.getSeqOff(), 128)
+		if err != nil || len(msgs) == 0 {
+			select {
+			case <-stop:
+				return
+			case <-r.seqWake:
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		if r.cfg.SequenceDelay > 0 {
+			owed = r.pace(owed, len(msgs))
+		}
+		for _, m := range msgs {
+			r.sequenceOne(producerID, m)
+			// Advance only after the fan-out: seqOff >= high water implies
+			// every sequenced transaction's markers are in the partition
+			// logs, which is what Quiesce relies on.
+			r.seqMu.Lock()
+			r.seqOff = m.Offset + 1
+			r.seqMu.Unlock()
+		}
+	}
+}
+
+// sequenceOne fans one global-sequence entry out to its involved partitions.
+// Duplicate request ids (client retries racing Submit's fast path) are
+// dropped here, so each partition log carries at most one marker per
+// cross-partition request.
+func (r *Runtime) sequenceOne(producerID string, m mq.Message) {
+	var req request
+	if err := json.Unmarshal(m.Value, &req); err != nil {
+		r.m.Counter("core.poison").Inc()
+		return
+	}
+	r.seqMu.Lock()
+	_, dup := r.seqSeen[req.ReqID]
+	if !dup {
+		r.seqSeen[req.ReqID] = struct{}{}
+	}
+	r.seqMu.Unlock()
+	if dup {
+		r.m.Counter("core.seq_dup_drops").Inc()
+		return
+	}
+	req.GSeq = m.Offset + 1
+	raw, err := json.Marshal(req)
+	if err != nil {
+		r.m.Counter("core.poison").Inc()
+		return
+	}
+	for _, p := range r.partitionsOf(req.Keys) {
+		r.broker.ProduceIdempotentTo(r.logTopic(p), req.ReqID, raw, producerID, m.Offset)
+		r.wake(p)
+	}
+	r.m.Counter("core.cross_sequenced").Inc()
+}
+
+// schedule routes one log entry: entries whose keys span partitions are
+// cross-partition markers written by the sequencer; everything else is a
+// home-partition transaction scheduled exactly as in the single-log
+// runtime.
+func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) {
 	var req request
 	if err := json.Unmarshal(raw, &req); err != nil {
 		r.m.Counter("core.poison").Inc()
 		return
 	}
+	parts := r.partitionsOf(req.Keys)
+	if len(parts) > 1 {
+		r.scheduleCross(part, parts, req, stop)
+		return
+	}
+	r.scheduleSingle(part, off*int64(r.nparts)+int64(part), req, stop)
+}
+
+// scheduleSingle wires a home-partition transaction into the per-key
+// dependency chains and launches it. Scheduling happens in partition-log
+// order, so chain order == log order; execution may interleave but only
+// between non-conflicting transactions — conflict-equivalent to the serial
+// log order.
+func (r *Runtime) scheduleSingle(part int, tid int64, req request, stop chan struct{}) {
 	// Deduplicate: a replayed request whose result is already cached, or a
 	// duplicate log entry whose first copy is already scheduled, must not
 	// re-execute.
@@ -339,12 +621,90 @@ func (r *Runtime) schedule(tid int64, raw []byte, stop chan struct{}) {
 		case <-stop:
 			return
 		}
-		r.execute(tid, req)
+		r.execute(tid, req, part)
 	}()
 }
 
-// execute runs one transaction and publishes its result.
-func (r *Runtime) execute(tid int64, req request) {
+// scheduleCross contributes one partition's view of a cross-partition
+// transaction. The marker sits at a deterministic position in this
+// partition's log, so splicing the keys this partition owns into the chains
+// here orders this partition's conflicts against the transaction exactly as
+// the log says. The last involved partition to reach its marker launches
+// execution.
+func (r *Runtime) scheduleCross(part int, parts []int, req request, stop chan struct{}) {
+	r.resMu.Lock()
+	_, done := r.results[req.ReqID]
+	r.resMu.Unlock()
+	if done {
+		return
+	}
+	r.crossMu.Lock()
+	ct, ok := r.cross[req.ReqID]
+	if !ok {
+		ct = &crossTxn{
+			tid:    req.GSeq - 1,
+			req:    req,
+			need:   len(parts),
+			joined: make(map[int]bool, len(parts)),
+			done:   make(chan struct{}),
+		}
+		r.cross[req.ReqID] = ct
+	}
+	if ct.joined[part] {
+		r.crossMu.Unlock()
+		return
+	}
+	ct.joined[part] = true
+	myKeys := make([]string, 0, len(req.Keys))
+	for _, k := range req.Keys {
+		if partitionForKey(k, r.nparts) == part {
+			myKeys = append(myKeys, k)
+		}
+	}
+	sort.Strings(myKeys)
+	r.schedMu.Lock()
+	for _, k := range myKeys {
+		if tail, ok := r.tails[k]; ok {
+			ct.waits = append(ct.waits, tail)
+		}
+		r.tails[k] = ct.done
+	}
+	r.schedMu.Unlock()
+	launch := len(ct.joined) == ct.need
+	r.crossMu.Unlock()
+	if !launch {
+		return
+	}
+
+	r.inflight.Add(1)
+	go func() {
+		defer r.inflight.Done()
+		defer close(ct.done)
+		defer func() {
+			r.crossMu.Lock()
+			delete(r.cross, ct.req.ReqID)
+			r.crossMu.Unlock()
+		}()
+		for _, w := range ct.waits {
+			select {
+			case <-w:
+			case <-stop:
+				return
+			}
+		}
+		select {
+		case r.sem <- struct{}{}:
+			defer func() { <-r.sem }()
+		case <-stop:
+			return
+		}
+		r.execute(ct.tid, ct.req, -1)
+	}()
+}
+
+// execute runs one transaction and publishes its result. part is the home
+// partition, or -1 for a cross-partition transaction.
+func (r *Runtime) execute(tid int64, req request, part int) {
 	r.fnMu.RLock()
 	fn, ok := r.fns[req.Fn]
 	r.fnMu.RUnlock()
@@ -378,6 +738,11 @@ func (r *Runtime) execute(tid int64, req request) {
 			r.stateMu.Unlock()
 			res = Result{Value: value, TID: tid}
 			r.m.Counter("core.commits").Inc()
+			if part >= 0 {
+				r.partCommits[part].Inc()
+			} else {
+				r.m.Counter("core.cross_commits").Inc()
+			}
 		}
 	}
 	r.resMu.Lock()
@@ -391,10 +756,12 @@ func (r *Runtime) execute(tid int64, req request) {
 	}
 }
 
-// Submit appends a transaction to the input log and waits for its result.
-// reqID makes the call idempotent: resubmitting (a client retry) returns
-// the cached result without re-execution. Two simulated hops (to the
-// sequencer and back) are charged to tr — compare with the 2PC hop count.
+// Submit appends a transaction to its home partition (or, when its declared
+// keys span partitions, to the global sequence topic) and waits for its
+// result. reqID makes the call idempotent: resubmitting (a client retry)
+// returns the cached result without re-execution. Two simulated hops (to
+// the sequencer and back) are charged to tr — compare with the 2PC hop
+// count.
 func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) ([]byte, error) {
 	r.runMu.Lock()
 	running := r.running
@@ -418,12 +785,20 @@ func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabri
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := r.broker.NewProducer("").Send(r.cfg.Name+"-txlog", reqID, raw); err != nil {
-		return nil, err
-	}
-	select {
-	case r.wake <- struct{}{}:
-	default:
+	if parts := r.partitionsOf(keys); len(parts) == 1 {
+		if _, err := r.broker.Produce(r.logTopic(parts[0]), reqID, raw); err != nil {
+			return nil, err
+		}
+		r.wake(parts[0])
+	} else {
+		if _, err := r.broker.Produce(r.seqTopic(), reqID, raw); err != nil {
+			return nil, err
+		}
+		r.m.Counter("core.cross_submits").Inc()
+		select {
+		case r.seqWake <- struct{}{}:
+		default:
+		}
 	}
 	timer := time.NewTimer(r.cfg.ResultTimeout)
 	defer timer.Stop()
@@ -469,15 +844,41 @@ func (r *Runtime) Read(key string) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
-// Quiesce blocks until every transaction in the log so far has executed.
+// caughtUp reports whether everything written to the logs so far has been
+// scheduled. The sequence topic is checked first: once the sequencer has
+// consumed up to its high water, every marker is already in the partition
+// logs, so the per-partition high waters observed afterwards cover them.
+func (r *Runtime) caughtUp() (bool, error) {
+	if r.nparts > 1 {
+		hw, err := r.broker.HighWater(r.seqTopic())
+		if err != nil {
+			return false, err
+		}
+		if r.getSeqOff() < hw {
+			return false, nil
+		}
+	}
+	for p := 0; p < r.nparts; p++ {
+		hw, err := r.broker.HighWater(r.logTopic(p))
+		if err != nil {
+			return false, err
+		}
+		if r.getOffset(p) < hw {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Quiesce blocks until every transaction in the logs so far has executed.
 func (r *Runtime) Quiesce(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		hw, err := r.broker.HighWater(r.logTopic())
+		ok, err := r.caughtUp()
 		if err != nil {
 			return err
 		}
-		if r.getOffset() >= hw {
+		if ok {
 			done := make(chan struct{})
 			go func() { r.inflight.Wait(); close(done) }()
 			select {
@@ -488,32 +889,87 @@ func (r *Runtime) Quiesce(timeout time.Duration) error {
 			}
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("core: quiesce timeout (offset %d < %d)", r.getOffset(), hw)
+			return fmt.Errorf("core: quiesce timeout (logs not drained)")
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
 }
 
-// Checkpoint snapshots state + results + input offset. Returns the offset.
-func (r *Runtime) Checkpoint() (int64, error) {
-	if err := r.Quiesce(10 * time.Second); err != nil {
-		return 0, err
-	}
-	r.stateMu.Lock()
-	state := cloneState(r.state)
-	r.stateMu.Unlock()
+// progressCut samples the runtime's progress markers: per-partition
+// offsets, the sequencer position, and the number of executed transactions
+// (every execution inserts exactly one result).
+func (r *Runtime) progressCut() ([]int64, int64, int) {
+	r.offMu.Lock()
+	offsets := append([]int64(nil), r.offsets...)
+	r.offMu.Unlock()
+	r.seqMu.Lock()
+	seqOff := r.seqOff
+	r.seqMu.Unlock()
 	r.resMu.Lock()
-	results := cloneResults(r.results)
+	nResults := len(r.results)
 	r.resMu.Unlock()
-	off := r.getOffset()
-	r.ckMu.Lock()
-	r.checkpoint = &snapshot{offset: off, state: state, results: results}
-	r.ckMu.Unlock()
-	r.m.Counter("core.checkpoints").Inc()
-	return off, nil
+	return offsets, seqOff, nResults
 }
 
-// Crash kills the runtime, losing all in-memory state. Only the input log
+func sameProgress(offsA []int64, seqA int64, nResA int, offsB []int64, seqB int64, nResB int) bool {
+	if seqA != seqB || nResA != nResB || len(offsA) != len(offsB) {
+		return false
+	}
+	for i := range offsA {
+		if offsA[i] != offsB[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpoint snapshots state + results + input offsets (per partition,
+// plus the sequencer's position and dedup set). The pieces are guarded by
+// separate locks, so after quiescing and cloning, progress is re-sampled
+// (through a second quiesce, which also drains anything consumed-but-
+// unexecuted at clone time): if a concurrent Submit advanced any marker
+// while the clones were cut, the pieces could disagree — offsets past a
+// transaction whose write is missing from state would silently lose it on
+// recovery — and the capture retries until it gets a stable cut. Returns
+// the total number of log entries consumed across partitions.
+func (r *Runtime) Checkpoint() (int64, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := r.Quiesce(time.Until(deadline)); err != nil {
+			return 0, err
+		}
+		offsA, seqA, nResA := r.progressCut()
+		r.stateMu.Lock()
+		state := cloneState(r.state)
+		r.stateMu.Unlock()
+		r.resMu.Lock()
+		results := cloneResults(r.results)
+		r.resMu.Unlock()
+		r.seqMu.Lock()
+		seqSeen := cloneSet(r.seqSeen)
+		r.seqMu.Unlock()
+		if err := r.Quiesce(time.Until(deadline)); err != nil {
+			return 0, err
+		}
+		offsB, seqB, nResB := r.progressCut()
+		if sameProgress(offsA, seqA, nResA, offsB, seqB, nResB) && nResA == len(results) {
+			r.ckMu.Lock()
+			r.checkpoint = &snapshot{offsets: offsA, seqOff: seqA, seqSeen: seqSeen, state: state, results: results}
+			r.ckMu.Unlock()
+			r.m.Counter("core.checkpoints").Inc()
+			var total int64
+			for _, off := range offsA {
+				total += off
+			}
+			return total, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("core: checkpoint could not cut a stable snapshot")
+		}
+	}
+}
+
+// Crash kills the runtime, losing all in-memory state. Only the input logs
 // (broker) and the checkpoint survive.
 func (r *Runtime) Crash() {
 	r.runMu.Lock()
@@ -537,10 +993,13 @@ func (r *Runtime) Crash() {
 	r.schedMu.Lock()
 	r.tails = make(map[string]chan struct{})
 	r.schedMu.Unlock()
+	r.crossMu.Lock()
+	r.cross = make(map[string]*crossTxn)
+	r.crossMu.Unlock()
 	r.m.Counter("core.crashes").Inc()
 }
 
-// Recover restarts from the checkpoint and replays the log suffix.
+// Recover restarts from the checkpoint and replays the log suffixes.
 // Determinism guarantees the replay reproduces the pre-crash state.
 func (r *Runtime) Recover() error { return r.Start() }
 
@@ -563,6 +1022,14 @@ func cloneResults(m map[string]Result) map[string]Result {
 	out := make(map[string]Result, len(m))
 	for k, v := range m {
 		out[k] = v
+	}
+	return out
+}
+
+func cloneSet(m map[string]struct{}) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
 	}
 	return out
 }

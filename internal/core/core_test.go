@@ -28,7 +28,13 @@ func toI64(b []byte) int64 {
 // keys "acc/<n>".
 func newBankRuntime(t *testing.T, name string) *Runtime {
 	t.Helper()
-	r := NewRuntime(mq.NewBroker(), Config{Name: name, Workers: 8})
+	return newBankRuntimeParts(t, name, 1)
+}
+
+// newBankRuntimeParts is newBankRuntime sharded across partitions.
+func newBankRuntimeParts(t *testing.T, name string, partitions int) *Runtime {
+	t.Helper()
+	r := NewRuntime(mq.NewBroker(), Config{Name: name, Workers: 8, Partitions: partitions})
 	r.Register("deposit", func(tx *Tx, args []byte) ([]byte, error) {
 		key := fmt.Sprintf("acc/%d", toI64(args[8:]))
 		cur, _, err := tx.Get(key)

@@ -36,10 +36,10 @@ import (
 
 // Common engine errors.
 var (
-	ErrRunning     = errors.New("dataflow: job already running")
-	ErrNotRunning  = errors.New("dataflow: job not running")
+	ErrRunning      = errors.New("dataflow: job already running")
+	ErrNotRunning   = errors.New("dataflow: job not running")
 	ErrNoCheckpoint = errors.New("dataflow: no completed checkpoint")
-	ErrBadTopology = errors.New("dataflow: invalid topology")
+	ErrBadTopology  = errors.New("dataflow: invalid topology")
 )
 
 // Record is one data element flowing through the graph.
@@ -141,14 +141,14 @@ type Job struct {
 
 	sourceTopic string
 	stages      []stageSpec
-	sinkTopic   string          // "" = callback sink
-	sinkFn      func(Record)    // may be nil
-	sinkAtEpoch bool            // deliver collector records on epoch commit
+	sinkTopic   string       // "" = callback sink
+	sinkFn      func(Record) // may be nil
+	sinkAtEpoch bool         // deliver collector records on epoch commit
 
-	mu       sync.Mutex
-	running  bool
-	rt       *runtime // live execution; nil when stopped
-	ckptmgr  *checkpointStore
+	mu      sync.Mutex
+	running bool
+	rt      *runtime // live execution; nil when stopped
+	ckptmgr *checkpointStore
 
 	inflight atomic.Int64 // records currently inside the graph
 	epochSeq atomic.Uint64

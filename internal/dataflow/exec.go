@@ -28,8 +28,8 @@ type ack struct {
 	kind     string // "source" | "op" | "sink"
 	stage    int
 	instance int
-	offsets  map[int]int64       // source acks: partition -> next offset
-	snapshot map[string][]byte   // op acks: state snapshot
+	offsets  map[int]int64     // source acks: partition -> next offset
+	snapshot map[string][]byte // op acks: state snapshot
 }
 
 // runtime is one live execution of a job.

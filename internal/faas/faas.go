@@ -27,8 +27,8 @@ import (
 
 // Common platform errors.
 var (
-	ErrNoFunction  = errors.New("faas: no such function")
-	ErrThrottled   = errors.New("faas: concurrency limit reached")
+	ErrNoFunction   = errors.New("faas: no such function")
+	ErrThrottled    = errors.New("faas: concurrency limit reached")
 	ErrPlatformDown = errors.New("faas: platform stopped")
 )
 
@@ -112,8 +112,8 @@ type Platform struct {
 	shared   *SharedStore
 	results  *dedup.Store // invocation-id dedup (exactly-once per op)
 
-	mu    sync.RWMutex
-	fns   map[string]*function
+	mu      sync.RWMutex
+	fns     map[string]*function
 	stopped bool
 }
 

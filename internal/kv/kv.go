@@ -124,10 +124,10 @@ type Store struct {
 	seq    atomic.Uint64 // last assigned sequence number
 	closed atomic.Bool
 
-	mu    sync.RWMutex
-	mem   *memtable
-	runs  []*run // newest first
-	log   *wal.Log
+	mu   sync.RWMutex
+	mem  *memtable
+	runs []*run // newest first
+	log  *wal.Log
 
 	// snapshot bookkeeping: compaction must not discard versions that an
 	// open snapshot can still see.

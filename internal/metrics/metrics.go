@@ -200,11 +200,11 @@ func (h *Histogram) Percentile(q float64) int64 {
 
 // Snapshot captures consistent-enough summary statistics for reporting.
 type Snapshot struct {
-	Count                int64
-	Mean                 float64
-	Min, Max             int64
-	P50, P90, P95, P99   int64
-	P999                 int64
+	Count              int64
+	Mean               float64
+	Min, Max           int64
+	P50, P90, P95, P99 int64
+	P999               int64
 }
 
 // Snapshot returns current summary statistics.

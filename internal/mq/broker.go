@@ -23,11 +23,11 @@ import (
 
 // Common broker errors.
 var (
-	ErrNoTopic      = errors.New("mq: no such topic")
-	ErrNoPartition  = errors.New("mq: no such partition")
-	ErrTxnActive    = errors.New("mq: producer transaction already active")
-	ErrNoTxn        = errors.New("mq: no active producer transaction")
-	ErrFenced       = errors.New("mq: producer fenced by newer instance")
+	ErrNoTopic     = errors.New("mq: no such topic")
+	ErrNoPartition = errors.New("mq: no such partition")
+	ErrTxnActive   = errors.New("mq: producer transaction already active")
+	ErrNoTxn       = errors.New("mq: no active producer transaction")
+	ErrFenced      = errors.New("mq: producer fenced by newer instance")
 )
 
 // Message is one record in a partition log.
@@ -63,11 +63,13 @@ func newPartition() *partition {
 }
 
 // append adds messages, deduplicating by (producerID, seq) when producerID
-// is non-empty. Returns the number actually appended.
-func (p *partition) append(topic string, part int, producerID string, baseSeq int64, msgs []Message) int {
+// is non-empty. Returns the number actually appended and the offset of the
+// first appended message (-1 when everything was a duplicate).
+func (p *partition) append(topic string, part int, producerID string, baseSeq int64, msgs []Message) (int, int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	appended := 0
+	base := int64(-1)
 	for i, m := range msgs {
 		if producerID != "" {
 			seq := baseSeq + int64(i)
@@ -79,10 +81,13 @@ func (p *partition) append(topic string, part int, producerID string, baseSeq in
 		m.Topic = topic
 		m.Partition = part
 		m.Offset = int64(len(p.msgs))
+		if base < 0 {
+			base = m.Offset
+		}
 		p.msgs = append(p.msgs, m)
 		appended++
 	}
-	return appended
+	return appended, base
 }
 
 func (p *partition) read(from int64, max int) []Message {
@@ -206,9 +211,14 @@ func (b *Broker) Fetch(tp TopicPartition, offset int64, max int) ([]Message, err
 	return p.read(offset, max), nil
 }
 
-// partitionFor maps a key to a partition index with FNV-1a, matching the
-// fabric's placement hash so co-partitioned topics align.
-func (t *topic) partitionFor(key string) int {
+// PartitionForKey maps a key to one of n partitions with FNV-1a, matching
+// the fabric's placement hash so co-partitioned topics align. Exported so
+// log-sharded runtimes (internal/core) home keys exactly the way the
+// broker spreads them — one hash, one owner.
+func PartitionForKey(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -218,7 +228,11 @@ func (t *topic) partitionFor(key string) int {
 		h ^= uint64(key[i])
 		h *= prime
 	}
-	return int(h % uint64(len(t.parts)))
+	return int(h % uint64(n))
+}
+
+func (t *topic) partitionFor(key string) int {
+	return PartitionForKey(key, len(t.parts))
 }
 
 // committedOffset returns the group's committed offset for tp (0 if none).
@@ -273,6 +287,36 @@ func (b *Broker) ProduceIdempotent(topicName, key string, value []byte, producer
 		return false, err
 	}
 	msg := Message{Key: key, Value: append([]byte(nil), value...)}
-	n := p.append(tp.Topic, tp.Partition, producerID, seq, []Message{msg})
+	n, _ := p.append(tp.Topic, tp.Partition, producerID, seq, []Message{msg})
+	return n == 1, nil
+}
+
+// Produce appends one message directly to an explicit partition, bypassing
+// the key hash, and returns its offset. Callers that own their partitioning
+// scheme (the deterministic core runtime routes each transaction to the
+// partition its key set hashes to) use this instead of Producer.Send.
+func (b *Broker) Produce(tp TopicPartition, key string, value []byte) (int64, error) {
+	p, err := b.partition(tp)
+	if err != nil {
+		return 0, err
+	}
+	msg := Message{Key: key, Value: append([]byte(nil), value...)}
+	_, off := p.append(tp.Topic, tp.Partition, "", 0, []Message{msg})
+	return off, nil
+}
+
+// ProduceIdempotentTo is ProduceIdempotent with an explicit target partition
+// instead of the key hash. A caller that fans one logical record out to
+// several partitions (the core runtime's cross-partition sequencer) passes
+// the record's global sequence number as seq: partition-side producer dedup
+// then drops replayed fan-outs after a crash, making the fan-out exactly-once
+// per partition.
+func (b *Broker) ProduceIdempotentTo(tp TopicPartition, key string, value []byte, producerID string, seq int64) (appended bool, err error) {
+	p, err := b.partition(tp)
+	if err != nil {
+		return false, err
+	}
+	msg := Message{Key: key, Value: append([]byte(nil), value...)}
+	n, _ := p.append(tp.Topic, tp.Partition, producerID, seq, []Message{msg})
 	return n == 1, nil
 }

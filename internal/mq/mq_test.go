@@ -133,7 +133,7 @@ func TestIdempotentProducerDedupsRetries(t *testing.T) {
 	// and sequence. We model it by calling the partition append directly
 	// with a stale sequence.
 	part, _ := b.partition(TopicPartition{Topic: "t", Partition: 0})
-	appended := part.append("t", 0, "producer-1", 1, []Message{{Key: "k", Value: []byte("v")}})
+	appended, _ := part.append("t", 0, "producer-1", 1, []Message{{Key: "k", Value: []byte("v")}})
 	if appended != 0 {
 		t.Fatalf("stale sequence appended %d records, want 0", appended)
 	}

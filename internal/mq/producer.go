@@ -13,9 +13,9 @@ type Producer struct {
 
 	// Idempotence: a stable producer id plus per-partition sequence
 	// numbers lets the broker drop retry duplicates.
-	id     string
-	seqMu  sync.Mutex
-	seqs   map[TopicPartition]int64
+	id    string
+	seqMu sync.Mutex
+	seqs  map[TopicPartition]int64
 
 	// Transactions.
 	txnID    string // transactional id ("" = non-transactional)
@@ -102,8 +102,11 @@ func (p *Producer) SendH(topicName, key string, value []byte, headers map[string
 		return TopicPartition{}, 0, err
 	}
 	seq := p.nextSeq(tp, 1)
-	part.append(tp.Topic, tp.Partition, p.id, seq, []Message{msg})
-	return tp, part.highWater() - 1, nil
+	_, off := part.append(tp.Topic, tp.Partition, p.id, seq, []Message{msg})
+	if off < 0 { // idempotent duplicate: report the end of the log
+		off = part.highWater() - 1
+	}
+	return tp, off, nil
 }
 
 func (p *Producer) nextSeq(tp TopicPartition, n int64) int64 {

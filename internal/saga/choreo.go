@@ -21,11 +21,11 @@ type Choreography struct {
 	broker *mq.Broker
 	def    *Definition
 
-	mu       sync.Mutex
-	results  map[string]chan error // sagaID -> completion
-	stop     chan struct{}
-	wg       sync.WaitGroup
-	started  bool
+	mu      sync.Mutex
+	results map[string]chan error // sagaID -> completion
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
 }
 
 // choreoEvent is the wire format of saga progress events.

@@ -27,9 +27,9 @@ import (
 
 // Common saga errors.
 var (
-	ErrUnknownSaga  = errors.New("saga: unknown saga definition")
-	ErrCompensated  = errors.New("saga: failed and compensated")
-	ErrStuck        = errors.New("saga: compensation failed; manual intervention required")
+	ErrUnknownSaga = errors.New("saga: unknown saga definition")
+	ErrCompensated = errors.New("saga: failed and compensated")
+	ErrStuck       = errors.New("saga: compensation failed; manual intervention required")
 )
 
 // Ctx carries a saga instance's data between steps. Steps communicate by
@@ -71,8 +71,8 @@ const (
 
 // logEntry is the persisted state of one saga instance.
 type logEntry struct {
-	Saga   string         `json:"saga"`
-	Status string         `json:"status"`
+	Saga   string `json:"saga"`
+	Status string `json:"status"`
 	// NextStep is the first step that has NOT completed (forward phase) or
 	// the next to compensate minus one (backward phase).
 	NextStep int            `json:"next_step"`

@@ -220,9 +220,9 @@ type DB struct {
 	sem   chan struct{}
 
 	// Stats observable by benchmarks.
-	Commits  atomic.Int64
-	Aborts   atomic.Int64
-	Wounds   atomic.Int64
+	Commits   atomic.Int64
+	Aborts    atomic.Int64
+	Wounds    atomic.Int64
 	Conflicts atomic.Int64
 }
 

@@ -103,8 +103,8 @@ func TestHLCCompare(t *testing.T) {
 }
 
 func TestVectorBasicOrdering(t *testing.T) {
-	v1 := NewVector().Tick("a")           // {a:1}
-	v2 := v1.Tick("a")                    // {a:2}
+	v1 := NewVector().Tick("a") // {a:1}
+	v2 := v1.Tick("a")          // {a:2}
 	if v1.Compare(v2) != Before {
 		t.Fatalf("v1 vs v2 = %v, want before", v1.Compare(v2))
 	}

@@ -30,9 +30,9 @@ import (
 
 // Common WAL errors.
 var (
-	ErrClosed    = errors.New("wal: closed")
-	ErrCorrupt   = errors.New("wal: corrupt record")
-	ErrTooLarge  = errors.New("wal: record exceeds segment size")
+	ErrClosed   = errors.New("wal: closed")
+	ErrCorrupt  = errors.New("wal: corrupt record")
+	ErrTooLarge = errors.New("wal: record exceeds segment size")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

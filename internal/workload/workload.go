@@ -176,10 +176,10 @@ func (g *TPCCGen) Next() TPCCOp {
 // StockKey / CustomerKey / DistrictKey name the state keys a TPC-C op
 // touches, shared by every runtime adapter so the experiments hit
 // identical key sets.
-func StockKey(warehouse, item int) string    { return fmt.Sprintf("stock/%d/%d", warehouse, item) }
-func CustomerKey(w, d, c int) string         { return fmt.Sprintf("cust/%d/%d/%d", w, d, c) }
-func DistrictKey(w, d int) string            { return fmt.Sprintf("dist/%d/%d", w, d) }
-func WarehouseKey(w int) string              { return fmt.Sprintf("wh/%d", w) }
+func StockKey(warehouse, item int) string { return fmt.Sprintf("stock/%d/%d", warehouse, item) }
+func CustomerKey(w, d, c int) string      { return fmt.Sprintf("cust/%d/%d/%d", w, d, c) }
+func DistrictKey(w, d int) string         { return fmt.Sprintf("dist/%d/%d", w, d) }
+func WarehouseKey(w int) string           { return fmt.Sprintf("wh/%d", w) }
 
 // Keys returns every state key the op touches (its declared key set for
 // the deterministic runtime).

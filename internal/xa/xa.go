@@ -28,9 +28,9 @@ import (
 
 // Common protocol errors.
 var (
-	ErrAborted   = errors.New("xa: transaction aborted")
-	ErrNoTxn     = errors.New("xa: unknown transaction")
-	ErrInDoubt   = errors.New("xa: participant in doubt")
+	ErrAborted = errors.New("xa: transaction aborted")
+	ErrNoTxn   = errors.New("xa: unknown transaction")
+	ErrInDoubt = errors.New("xa: participant in doubt")
 )
 
 // ResourceManager adapts one database into a 2PC participant: it tracks

@@ -131,13 +131,22 @@ func NewChaosEnv(seed int64, nodes int, dropProb, dupProb float64) *Env {
 	return env
 }
 
+// Options tunes optional cell parameters. The zero value is the default
+// deployment for every model.
+type Options struct {
+	// Partitions shards the Deterministic cell's input log (and so its
+	// scheduler) across that many partitions; zero or one means a single
+	// log. Other models ignore it. E16 sweeps this knob.
+	Partitions int
+}
+
 // Guarantee describes what a deployment cell actually promises — the
 // honesty layer of the taxonomy.
 type Guarantee struct {
-	Atomic       bool   // transfers are all-or-nothing (eventually, for sagas)
-	Isolated     bool   // concurrent observers cannot see intermediate states
-	ExactlyOnce  bool   // retries/replays do not double-apply
-	Note         string // one-line caveat
+	Atomic      bool   // transfers are all-or-nothing (eventually, for sagas)
+	Isolated    bool   // concurrent observers cannot see intermediate states
+	ExactlyOnce bool   // retries/replays do not double-apply
+	Note        string // one-line caveat
 }
 
 func (g Guarantee) String() string {
