@@ -1,6 +1,7 @@
 # verify is what CI runs (.github/workflows/ci.yml): formatting, vet,
-# build, and the full test suite under the race detector.
-.PHONY: verify fmt test bench
+# build, the full test suite under the race detector, and a one-iteration
+# benchmark smoke pass so bench-only code paths can't rot unbuilt.
+.PHONY: verify fmt test bench bench-smoke
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -10,6 +11,7 @@ verify:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+	$(MAKE) bench-smoke
 
 fmt:
 	gofmt -w .
@@ -19,3 +21,8 @@ test:
 
 bench:
 	go test -bench . -benchtime 1000x
+
+# bench-smoke runs every benchmark exactly once (no tests): a fast
+# compile-and-execute check for the bench-only code paths.
+bench-smoke:
+	go test -bench . -benchtime 1x -run '^$$'

@@ -1,0 +1,209 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"tca/internal/fabric"
+)
+
+// This file is the application layer of the taxonomy: a model-agnostic way
+// to define a transactional cloud application once and deploy it under any
+// programming model of Figure 1.
+//
+// An App registers named Ops. Each Op declares the key set it touches
+// (derived from its arguments) and a Body over the uniform Txn read/write
+// surface. A Cell is one deployment of an App under one taxonomy cell; the
+// five adapters (cell_*.go) map the same Op onto a saga over microservices,
+// an Orleans-style actor transaction, a FaaS entity critical section, a
+// stateful-dataflow message choreography, or a deterministic log-ordered
+// transaction — each with the honest guarantees of that cell.
+
+// Txn is the uniform state surface an Op body executes over. Every cell
+// adapter provides an implementation backed by its own state management:
+// the deterministic core's MVCC view, actor transactional state under 2PL,
+// locked FaaS entities, per-service databases behind RPC, or dataflow
+// function state reached by messages.
+type Txn interface {
+	// Get returns the value of key as visible to this operation. Cells
+	// without isolation (sagas, dataflow) may return stale or dirty values
+	// — that is their honest semantics, not a bug.
+	Get(key string) ([]byte, bool, error)
+	// Put replaces the value of key. Writes are all-or-nothing per op
+	// where the cell supports it: synchronous cells buffer or stage writes
+	// until the body returns nil.
+	Put(key string, value []byte) error
+	// Add atomically adds delta to the EncodeInt-encoded value of key
+	// (missing keys count as zero). Add commutes, so eventual cells apply
+	// it as an exactly-once delta message instead of a read-modify-write —
+	// which is what keeps them conserving totals under concurrency.
+	Add(key string, delta int64) error
+}
+
+// EncodeInt is the canonical numeric value encoding of the App layer
+// (JSON int64) — what Txn.Add maintains and application bodies should use
+// for counter-like keys.
+func EncodeInt(v int64) []byte {
+	raw, _ := json.Marshal(v)
+	return raw
+}
+
+// DecodeInt decodes an EncodeInt value; nil or garbage decodes to zero.
+func DecodeInt(raw []byte) int64 {
+	var v int64
+	if raw != nil {
+		json.Unmarshal(raw, &v)
+	}
+	return v
+}
+
+// Op is one named transactional operation of an application.
+type Op struct {
+	// Name identifies the op within its App.
+	Name string
+	// Keys derives the declared key set from the op's arguments.
+	// Deterministic cells schedule on it, locking cells lock it up front,
+	// sharded cells route with it, and dataflow cells gather reads from it
+	// before the body runs. Bodies must confine their Gets to these keys.
+	Keys func(args []byte) []string
+	// Body executes the op over the cell's Txn. It must be deterministic
+	// (same visible state + args => same writes and result) and safe to
+	// re-execute: cells retry it on concurrency-control conflicts and
+	// replay it for recovery. Returning an error aborts the op where the
+	// cell supports atomicity — no buffered writes apply.
+	Body func(tx Txn, args []byte) ([]byte, error)
+}
+
+// App is a model-agnostic transactional application: a named set of Ops
+// over uniform keyed state. Build one with NewApp + Register, then deploy
+// it under any programming model with Deploy.
+type App struct {
+	name  string
+	ops   map[string]Op
+	order []string
+}
+
+// NewApp creates an empty application.
+func NewApp(name string) *App {
+	return &App{name: name, ops: make(map[string]Op)}
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+// Register adds an op. Registering after Deploy, a nil Keys/Body, or a
+// duplicate name panics: op sets are static application code, not runtime
+// data, so misuse is a programming error.
+func (a *App) Register(op Op) *App {
+	if op.Name == "" || op.Keys == nil || op.Body == nil {
+		panic(fmt.Sprintf("tca: app %q: op needs Name, Keys and Body", a.name))
+	}
+	if _, dup := a.ops[op.Name]; dup {
+		panic(fmt.Sprintf("tca: app %q: duplicate op %q", a.name, op.Name))
+	}
+	a.ops[op.Name] = op
+	a.order = append(a.order, op.Name)
+	return a
+}
+
+// Op returns a registered op.
+func (a *App) Op(name string) (Op, bool) {
+	op, ok := a.ops[name]
+	return op, ok
+}
+
+// Ops returns the registered op names in registration order.
+func (a *App) Ops() []string { return append([]string(nil), a.order...) }
+
+// keysOf resolves an op's declared key set, deduplicated in first-seen
+// order (bodies may legitimately derive the same key twice). The result
+// is a fresh slice: Keys may return shared or cached storage, and cells
+// call keysOf from concurrent invocations.
+func (a *App) keysOf(op Op, args []byte) []string {
+	keys := op.Keys(args)
+	seen := make(map[string]struct{}, len(keys))
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Cell is one deployment of an App under one taxonomy cell. The same
+// methods mean honestly different things per cell — Invoke on an eventual
+// cell acknowledges acceptance, not completion — which Guarantee reports.
+type Cell interface {
+	// Model returns the cell's programming model.
+	Model() ProgrammingModel
+	// Guarantee describes the cell's real semantics.
+	Guarantee() Guarantee
+	// App returns the deployed application.
+	App() *App
+	// Invoke runs the named op with args. reqID identifies the logical
+	// request for idempotence where the cell supports it; tr accumulates
+	// simulated latency. Eventual cells return before the op applies —
+	// call Settle before auditing state.
+	Invoke(reqID, op string, args []byte, tr *fabric.Trace) ([]byte, error)
+	// Read returns the settled value of one key (eventual cells quiesce
+	// first). Use it for audits, not as part of an op.
+	Read(key string) ([]byte, bool, error)
+	// Settle waits until all accepted ops have applied (no-op for
+	// synchronous cells).
+	Settle() error
+	// Close releases resources.
+	Close()
+}
+
+// Deploy instantiates app under the given model on env with default
+// options.
+func Deploy(model ProgrammingModel, app *App, env *Env) (Cell, error) {
+	return DeployWith(model, app, env, Options{})
+}
+
+// DeployWith instantiates app under the given model on env.
+func DeployWith(model ProgrammingModel, app *App, env *Env, opts Options) (Cell, error) {
+	switch model {
+	case Microservices:
+		return newMicroCell(app, env), nil
+	case Actors:
+		return newActorCell(app, env), nil
+	case CloudFunctions:
+		return newFaasCell(app, env), nil
+	case StatefulDataflow:
+		return newStatefunCell(app, env)
+	case Deterministic:
+		return newCoreCell(app, env, opts)
+	default:
+		return nil, fmt.Errorf("tca: unknown model %v", model)
+	}
+}
+
+// opError is the shared unknown-op error of every cell adapter.
+func opError(app *App, op string) error {
+	return fmt.Errorf("tca: app %q has no op %q", app.Name(), op)
+}
+
+// keyShard hashes a key onto one of n shards — the routing rule the
+// sharded cells (microservices, partitioned core) share.
+func keyShard(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// sortedKeys returns map keys in deterministic order (bodies and adapters
+// iterate state deterministically by contract).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

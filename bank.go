@@ -4,21 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
-	"time"
 
-	"tca/internal/actor"
-	"tca/internal/core"
-	"tca/internal/dedup"
-	"tca/internal/faas"
 	"tca/internal/fabric"
-	"tca/internal/micro"
-	"tca/internal/rpc"
-	"tca/internal/saga"
-	"tca/internal/statefun"
-	"tca/internal/store"
 )
+
+// The bank — the running example of the transactional-cloud-apps
+// literature — is now just one App on the application layer (app.go): two
+// ops over account keys. The Bank interface survives as a thin typed
+// wrapper over the Cell it deploys to, so existing callers and tests keep
+// their exact semantics.
 
 // Bank is the running example deployed under one taxonomy cell: accounts
 // with balances, transfers between them, and a total-balance audit.
@@ -47,531 +42,140 @@ type Bank interface {
 
 func acctKey(n int) string { return fmt.Sprintf("acct/%d", n) }
 
+// bankDepositArgs / bankTransferArgs are the bank ops' wire arguments.
+type bankDepositArgs struct {
+	Account int   `json:"account"`
+	Amount  int64 `json:"amount"`
+}
+
+type bankTransferArgs struct {
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Amount int64 `json:"amount"`
+}
+
+// ErrInsufficientFunds rejects overdrafts on cells that read before they
+// write (all synchronous cells; the dataflow cell checks against its
+// asynchronous snapshot).
+var ErrInsufficientFunds = errors.New("insufficient funds")
+
+// BankApp builds the bank as a model-agnostic App: "deposit" and
+// "transfer" over acct/N keys. Balances use the EncodeInt value encoding
+// and commutative Adds, so even the eventual cells conserve money under
+// concurrency.
+//
+// The overdraft check is part of the body, so it is exactly as strong as
+// the cell's isolation: the actor, entity and deterministic cells enforce
+// it atomically, while the saga and dataflow cells check against an
+// uncoordinated read — concurrent transfers can overdraw one account
+// there. That is the missing-isolation anomaly of §4.2, surfaced rather
+// than papered over; money stays conserved in every cell regardless.
+func BankApp() *App {
+	app := NewApp("bank")
+	app.Register(Op{
+		Name: "deposit",
+		Keys: func(args []byte) []string {
+			var a bankDepositArgs
+			json.Unmarshal(args, &a)
+			return []string{acctKey(a.Account)}
+		},
+		Body: func(tx Txn, args []byte) ([]byte, error) {
+			var a bankDepositArgs
+			if err := json.Unmarshal(args, &a); err != nil {
+				return nil, err
+			}
+			return nil, tx.Add(acctKey(a.Account), a.Amount)
+		},
+	})
+	app.Register(Op{
+		Name: "transfer",
+		Keys: func(args []byte) []string {
+			var a bankTransferArgs
+			json.Unmarshal(args, &a)
+			return []string{acctKey(a.From), acctKey(a.To)}
+		},
+		Body: func(tx Txn, args []byte) ([]byte, error) {
+			var a bankTransferArgs
+			if err := json.Unmarshal(args, &a); err != nil {
+				return nil, err
+			}
+			raw, _, err := tx.Get(acctKey(a.From))
+			if err != nil {
+				return nil, err
+			}
+			if DecodeInt(raw) < a.Amount {
+				return nil, ErrInsufficientFunds
+			}
+			if err := tx.Add(acctKey(a.From), -a.Amount); err != nil {
+				return nil, err
+			}
+			return nil, tx.Add(acctKey(a.To), a.Amount)
+		},
+	})
+	return app
+}
+
 // NewBank instantiates the bank under the given model on env with default
 // options.
 func NewBank(model ProgrammingModel, env *Env) (Bank, error) {
 	return NewBankWith(model, env, Options{})
 }
 
-// NewBankWith instantiates the bank under the given model on env.
+// NewBankWith instantiates the bank under the given model on env: it
+// deploys BankApp through the application layer and wraps the cell.
 func NewBankWith(model ProgrammingModel, env *Env, opts Options) (Bank, error) {
-	switch model {
-	case Microservices:
-		return newMicroBank(env), nil
-	case Actors:
-		return newActorBank(env), nil
-	case CloudFunctions:
-		return newFaasBank(env), nil
-	case StatefulDataflow:
-		return newStatefunBank(env)
-	case Deterministic:
-		return newCoreBank(env, opts)
-	default:
-		return nil, fmt.Errorf("tca: unknown model %v", model)
+	cell, err := DeployWith(model, BankApp(), env, opts)
+	if err != nil {
+		return nil, err
 	}
+	return &bankCell{cell: cell}, nil
 }
 
-// --- microservices + saga ----------------------------------------------------
-
-// microBank: two account-shard services (even/odd accounts) with
-// database-per-service; transfers are sagas (debit, then credit, with a
-// refund compensation). Atomic eventually; dirty reads possible mid-saga.
-type microBank struct {
-	dep        *micro.Deployment
-	orch       *saga.Orchestrator
+// bankCell adapts a deployed Cell to the Bank interface.
+type bankCell struct {
+	cell       Cell
 	depositSeq atomic.Int64
 }
 
-func shardOf(account int) string {
-	if account%2 == 0 {
-		return "accounts-even"
-	}
-	return "accounts-odd"
-}
+func (b *bankCell) Model() ProgrammingModel { return b.cell.Model() }
+func (b *bankCell) Guarantee() Guarantee    { return b.cell.Guarantee() }
 
-type adjustReq struct {
-	Account int   `json:"account"`
-	Delta   int64 `json:"delta"`
-	// FailIfNegative makes the debit leg reject overdrafts.
-	FailIfNegative bool `json:"fail_if_negative"`
-}
-
-func newMicroBank(env *Env) *microBank {
-	dep := micro.NewDeployment(env.Cluster)
-	for _, name := range []string{"accounts-even", "accounts-odd"} {
-		// Idempotency middleware is what makes the saga's retries safe on
-		// a lossy, duplicating network (§3.2): without it, duplicate
-		// deliveries of the non-idempotent "adjust" create money.
-		svc := dep.AddService(micro.ServiceConfig{Name: name, Idempotency: dedup.New(0)})
-		svc.DB().CreateTable("accounts")
-		svc.Handle("adjust", micro.JSONHandler(func(c *micro.Ctx, r adjustReq) (struct{}, error) {
-			err := c.DB().Update(func(tx *store.Txn) error {
-				row, _, err := tx.Get("accounts", acctKey(r.Account))
-				if err != nil {
-					return err
-				}
-				bal := row.Int("balance") + r.Delta
-				if r.FailIfNegative && bal < 0 {
-					return errors.New("insufficient funds")
-				}
-				return tx.Put("accounts", acctKey(r.Account), store.Row{"balance": bal})
-			})
-			return struct{}{}, err
-		}))
-		svc.Handle("balance", micro.JSONHandler(func(c *micro.Ctx, r adjustReq) (int64, error) {
-			var bal int64
-			err := c.DB().View(func(tx *store.Txn) error {
-				row, _, err := tx.Get("accounts", acctKey(r.Account))
-				if err != nil {
-					return err
-				}
-				bal = row.Int("balance")
-				return nil
-			})
-			return bal, err
-		}))
-	}
-	return &microBank{dep: dep, orch: saga.NewOrchestrator(nil)}
-}
-
-func (b *microBank) Model() ProgrammingModel { return Microservices }
-
-func (b *microBank) Guarantee() Guarantee {
-	return Guarantee{Atomic: true, Isolated: false, ExactlyOnce: false,
-		Note: "saga over REST: compensations on failure, dirty reads mid-saga"}
-}
-
-func (b *microBank) call(svc, op, idemKey string, req adjustReq, tr *fabric.Trace) error {
-	var codec micro.Codec
-	s, err := b.dep.Service(svc)
-	if err != nil {
+func (b *bankCell) Deposit(account int, amount int64) error {
+	args, _ := json.Marshal(bankDepositArgs{Account: account, Amount: amount})
+	reqID := fmt.Sprintf("deposit-%d-%d", account, b.depositSeq.Add(1))
+	if _, err := b.cell.Invoke(reqID, "deposit", args, nil); err != nil {
 		return err
 	}
-	_, err = b.dep.Transport().Call(s.Node(), "svc/"+svc+"/"+op, codec.Marshal(req), tr, rpc.CallOptions{
-		Retries:        3,
-		RetryBackoff:   time.Millisecond,
-		IdempotencyKey: idemKey,
-	})
+	// Seeding is synchronous even on the eventual cell, so tests and
+	// benchmarks can audit right after setup.
+	if b.cell.Model() == StatefulDataflow {
+		return b.cell.Settle()
+	}
+	return nil
+}
+
+func (b *bankCell) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
+	args, _ := json.Marshal(bankTransferArgs{From: from, To: to, Amount: amount})
+	_, err := b.cell.Invoke(reqID, "transfer", args, tr)
 	return err
 }
 
-func (b *microBank) Deposit(account int, amount int64) error {
-	key := fmt.Sprintf("deposit/%d/%d", account, b.depositSeq.Add(1))
-	return b.call(shardOf(account), "adjust", key, adjustReq{Account: account, Delta: amount}, nil)
+func (b *bankCell) Balance(account int) (int64, error) {
+	raw, _, err := b.cell.Read(acctKey(account))
+	return DecodeInt(raw), err
 }
 
-func (b *microBank) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
-	def := &saga.Definition{
-		Name: "transfer",
-		Steps: []saga.Step{
-			{
-				Name: "debit",
-				Action: func(c *saga.Ctx) error {
-					return b.call(shardOf(from), "adjust", reqID+"/debit", adjustReq{Account: from, Delta: -amount, FailIfNegative: true}, tr)
-				},
-				Compensate: func(c *saga.Ctx) error {
-					return b.call(shardOf(from), "adjust", reqID+"/refund", adjustReq{Account: from, Delta: amount}, tr)
-				},
-			},
-			{
-				Name: "credit",
-				Action: func(c *saga.Ctx) error {
-					return b.call(shardOf(to), "adjust", reqID+"/credit", adjustReq{Account: to, Delta: amount}, tr)
-				},
-			},
-		},
+// PeekBalance reads a balance without settling — the dirty read an
+// external observer performs, which E7 uses to expose the dataflow cell's
+// missing isolation. Synchronous cells read committed state.
+func (b *bankCell) PeekBalance(account int) int64 {
+	if sc, ok := b.cell.(*statefunCell); ok {
+		raw, _, _ := sc.Peek(acctKey(account))
+		return DecodeInt(raw)
 	}
-	return b.orch.Execute(def, reqID, nil)
+	raw, _, _ := b.cell.Read(acctKey(account))
+	return DecodeInt(raw)
 }
 
-func (b *microBank) Balance(account int) (int64, error) {
-	svc, err := b.dep.Service(shardOf(account))
-	if err != nil {
-		return 0, err
-	}
-	var bal int64
-	err = svc.DB().View(func(tx *store.Txn) error {
-		row, _, err := tx.Get("accounts", acctKey(account))
-		if err != nil {
-			return err
-		}
-		bal = row.Int("balance")
-		return nil
-	})
-	return bal, err
-}
-
-func (b *microBank) Settle() error { return nil }
-func (b *microBank) Close()        {}
-
-// --- actors + transactions -----------------------------------------------------
-
-type actorBank struct {
-	sys   *actor.System
-	coord *actor.Coordinator
-}
-
-func newActorBank(env *Env) *actorBank {
-	sys := actor.NewSystem(env.Cluster, actor.Config{})
-	return &actorBank{sys: sys, coord: actor.NewCoordinator(sys)}
-}
-
-func (b *actorBank) Model() ProgrammingModel { return Actors }
-
-func (b *actorBank) Guarantee() Guarantee {
-	return Guarantee{Atomic: true, Isolated: true, ExactlyOnce: false,
-		Note: "Orleans-style 2PL+2PC: serializable but blocking and retry-heavy under contention"}
-}
-
-func (b *actorBank) ref(account int) actor.Ref {
-	return actor.Ref{Type: "account", ID: fmt.Sprintf("%d", account)}
-}
-
-func (b *actorBank) Deposit(account int, amount int64) error {
-	cur, _, err := b.coord.ReadState(b.ref(account))
-	if err != nil {
-		return err
-	}
-	bal := amount
-	if cur != nil {
-		bal += cur.Int("balance")
-	}
-	return b.coord.SeedState(b.ref(account), store.Row{"balance": bal})
-}
-
-func (b *actorBank) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
-	return b.coord.Run(tr, func(t *actor.ActorTxn) error {
-		f, _, err := t.Read(b.ref(from))
-		if err != nil {
-			return err
-		}
-		if f.Int("balance") < amount {
-			return errors.New("insufficient funds")
-		}
-		g, _, err := t.Read(b.ref(to))
-		if err != nil {
-			return err
-		}
-		if err := t.Write(b.ref(from), store.Row{"balance": f.Int("balance") - amount}); err != nil {
-			return err
-		}
-		return t.Write(b.ref(to), store.Row{"balance": g.Int("balance") + amount})
-	})
-}
-
-func (b *actorBank) Balance(account int) (int64, error) {
-	row, ok, err := b.coord.ReadState(b.ref(account))
-	if err != nil || !ok {
-		return 0, err
-	}
-	return row.Int("balance"), nil
-}
-
-func (b *actorBank) Settle() error { return nil }
-func (b *actorBank) Close()        { b.sys.Stop() }
-
-// --- cloud functions + entities -------------------------------------------------
-
-type faasBank struct {
-	p *faas.Platform
-}
-
-func newFaasBank(env *Env) *faasBank {
-	p := faas.NewPlatform(env.Cluster, faas.DefaultConfig())
-	p.Register("transfer", func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
-		var r struct {
-			From, To int
-			Amount   int64
-		}
-		if err := json.Unmarshal(payload, &r); err != nil {
-			return nil, err
-		}
-		em := ctx.Entities()
-		fromID := faas.EntityID{Type: "account", ID: fmt.Sprintf("%d", r.From)}
-		toID := faas.EntityID{Type: "account", ID: fmt.Sprintf("%d", r.To)}
-		cs := em.Lock(fromID, toID)
-		defer cs.Unlock()
-		row, _, err := cs.Get(fromID)
-		if err != nil {
-			return nil, err
-		}
-		if row.Int("balance") < r.Amount {
-			return nil, errors.New("insufficient funds")
-		}
-		if err := cs.Update(fromID, func(s store.Row) (store.Row, error) {
-			return store.Row{"balance": s.Int("balance") - r.Amount}, nil
-		}); err != nil {
-			return nil, err
-		}
-		return nil, cs.Update(toID, func(s store.Row) (store.Row, error) {
-			if s == nil {
-				s = store.Row{"balance": int64(0)}
-			}
-			return store.Row{"balance": s.Int("balance") + r.Amount}, nil
-		})
-	})
-	return &faasBank{p: p}
-}
-
-func (b *faasBank) Model() ProgrammingModel { return CloudFunctions }
-
-func (b *faasBank) Guarantee() Guarantee {
-	return Guarantee{Atomic: true, Isolated: true, ExactlyOnce: true,
-		Note: "Durable-Functions entities: explicit critical sections, dedup by op id; cold starts on the latency tail"}
-}
-
-func (b *faasBank) entity(account int) faas.EntityID {
-	return faas.EntityID{Type: "account", ID: fmt.Sprintf("%d", account)}
-}
-
-func (b *faasBank) Deposit(account int, amount int64) error {
-	return b.p.Entities().Signal(b.entity(account), func(s store.Row) (store.Row, error) {
-		if s == nil {
-			s = store.Row{"balance": int64(0)}
-		}
-		return store.Row{"balance": s.Int("balance") + amount}, nil
-	})
-}
-
-func (b *faasBank) Balance(account int) (int64, error) {
-	row, ok, err := b.p.Entities().Read(b.entity(account))
-	if err != nil || !ok {
-		return 0, err
-	}
-	return row.Int("balance"), nil
-}
-
-func (b *faasBank) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
-	payload, _ := json.Marshal(struct {
-		From, To int
-		Amount   int64
-	}{from, to, amount})
-	_, err := b.p.InvokeID(reqID, "transfer", fmt.Sprintf("%d", from), payload, tr)
-	return err
-}
-
-func (b *faasBank) Settle() error { return nil }
-func (b *faasBank) Close()        { b.p.Stop() }
-
-// --- stateful dataflow (statefun) ----------------------------------------------
-
-type statefunBank struct {
-	app      *statefun.App
-	accepted atomic.Int64
-
-	mu     sync.Mutex
-	probes map[string]chan int64
-}
-
-func newStatefunBank(env *Env) (*statefunBank, error) {
-	b := &statefunBank{probes: make(map[string]chan int64)}
-	app := statefun.NewApp(env.Broker, statefun.Config{
-		Name: "bank", Parallelism: 2, Ingress: "bank-ingress",
-		OnEgress: func(key string, value []byte) {
-			var bal int64
-			if json.Unmarshal(value, &bal) != nil {
-				return
-			}
-			b.mu.Lock()
-			ch, ok := b.probes[key]
-			if ok {
-				delete(b.probes, key)
-			}
-			b.mu.Unlock()
-			if ok {
-				select {
-				case ch <- bal:
-				default:
-				}
-			}
-		},
-	})
-	app.Register("account", func(ctx *statefun.Ctx, payload []byte) error {
-		var delta int64
-		if err := json.Unmarshal(payload, &delta); err != nil {
-			return err
-		}
-		var bal int64
-		if raw, ok := ctx.Get("balance"); ok {
-			json.Unmarshal(raw, &bal)
-		}
-		bal += delta
-		raw, _ := json.Marshal(bal)
-		ctx.Set("balance", raw)
-		ctx.SendEgress(ctx.Self.ID, raw)
-		return nil
-	})
-	app.Register("transfer", func(ctx *statefun.Ctx, payload []byte) error {
-		var r struct {
-			From, To int
-			Amount   int64
-		}
-		if err := json.Unmarshal(payload, &r); err != nil {
-			return err
-		}
-		debit, _ := json.Marshal(-r.Amount)
-		credit, _ := json.Marshal(r.Amount)
-		if err := ctx.Send(statefun.Ref{Type: "account", ID: fmt.Sprintf("%d", r.From)}, debit); err != nil {
-			return err
-		}
-		return ctx.Send(statefun.Ref{Type: "account", ID: fmt.Sprintf("%d", r.To)}, credit)
-	})
-	if err := app.Start(); err != nil {
-		return nil, err
-	}
-	b.app = app
-	return b, nil
-}
-
-func (b *statefunBank) Model() ProgrammingModel { return StatefulDataflow }
-
-func (b *statefunBank) Guarantee() Guarantee {
-	return Guarantee{Atomic: true, Isolated: false, ExactlyOnce: true,
-		Note: "exactly-once processing; NO isolation across functions (§4.2) — transfers settle eventually"}
-}
-
-func (b *statefunBank) Deposit(account int, amount int64) error {
-	raw, _ := json.Marshal(amount)
-	if err := b.app.SendToIngress(statefun.Ref{Type: "account", ID: fmt.Sprintf("%d", account)}, raw); err != nil {
-		return err
-	}
-	return b.app.WaitIdle(5 * time.Second)
-}
-
-func (b *statefunBank) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
-	payload, _ := json.Marshal(struct {
-		From, To int
-		Amount   int64
-	}{from, to, amount})
-	// Asynchronous: acceptance, not completion.
-	tr.Charge(time.Millisecond / 2) // one produce hop
-	b.accepted.Add(1)
-	return b.app.SendToIngress(statefun.Ref{Type: "transfer", ID: reqID}, payload)
-}
-
-// Balance settles, then reads the function's scoped state by sending a
-// zero-delta probe and catching the account's egressed balance.
-func (b *statefunBank) Balance(account int) (int64, error) {
-	if err := b.Settle(); err != nil {
-		return 0, err
-	}
-	id := fmt.Sprintf("%d", account)
-	ch := make(chan int64, 1)
-	b.mu.Lock()
-	b.probes[id] = ch
-	b.mu.Unlock()
-	zero, _ := json.Marshal(int64(0))
-	if err := b.app.SendToIngress(statefun.Ref{Type: "account", ID: id}, zero); err != nil {
-		return 0, err
-	}
-	select {
-	case v := <-ch:
-		return v, nil
-	case <-time.After(5 * time.Second):
-		return 0, errors.New("tca: balance probe timeout")
-	}
-}
-
-func (b *statefunBank) Settle() error { return b.app.WaitIdle(10 * time.Second) }
-func (b *statefunBank) Close()        { b.app.Stop() }
-
-// --- deterministic core ---------------------------------------------------------
-
-type coreBank struct {
-	rt  *core.Runtime
-	seq atomic.Int64
-}
-
-func newCoreBank(env *Env, opts Options) (*coreBank, error) {
-	rt := core.NewRuntime(env.Broker, core.Config{Name: "corebank", Cluster: env.Cluster, Partitions: opts.Partitions})
-	rt.Register("transfer", func(tx *core.Tx, args []byte) ([]byte, error) {
-		var r struct {
-			From, To string
-			Amount   int64
-		}
-		if err := json.Unmarshal(args, &r); err != nil {
-			return nil, err
-		}
-		fb, _, err := tx.Get(r.From)
-		if err != nil {
-			return nil, err
-		}
-		var fbal int64
-		if fb != nil {
-			json.Unmarshal(fb, &fbal)
-		}
-		if fbal < r.Amount {
-			return nil, errors.New("insufficient funds")
-		}
-		tb, _, err := tx.Get(r.To)
-		if err != nil {
-			return nil, err
-		}
-		var tbal int64
-		if tb != nil {
-			json.Unmarshal(tb, &tbal)
-		}
-		fraw, _ := json.Marshal(fbal - r.Amount)
-		traw, _ := json.Marshal(tbal + r.Amount)
-		if err := tx.Put(r.From, fraw); err != nil {
-			return nil, err
-		}
-		return nil, tx.Put(r.To, traw)
-	})
-	rt.Register("deposit", func(tx *core.Tx, args []byte) ([]byte, error) {
-		var r struct {
-			Key    string
-			Amount int64
-		}
-		if err := json.Unmarshal(args, &r); err != nil {
-			return nil, err
-		}
-		var bal int64
-		if raw, _, _ := tx.Get(r.Key); raw != nil {
-			json.Unmarshal(raw, &bal)
-		}
-		out, _ := json.Marshal(bal + r.Amount)
-		return nil, tx.Put(r.Key, out)
-	})
-	if err := rt.Start(); err != nil {
-		return nil, err
-	}
-	return &coreBank{rt: rt}, nil
-}
-
-func (b *coreBank) Model() ProgrammingModel { return Deterministic }
-
-func (b *coreBank) Guarantee() Guarantee {
-	return Guarantee{Atomic: true, Isolated: true, ExactlyOnce: true,
-		Note: "deterministic transactional dataflow (Styx-like): serializable, log-ordered, no 2PC"}
-}
-
-func (b *coreBank) Deposit(account int, amount int64) error {
-	args, _ := json.Marshal(struct {
-		Key    string
-		Amount int64
-	}{acctKey(account), amount})
-	_, err := b.rt.Submit(fmt.Sprintf("deposit-%d-%d", account, b.seq.Add(1)), "deposit", []string{acctKey(account)}, args, nil)
-	return err
-}
-
-func (b *coreBank) Transfer(reqID string, from, to int, amount int64, tr *fabric.Trace) error {
-	args, _ := json.Marshal(struct {
-		From, To string
-		Amount   int64
-	}{acctKey(from), acctKey(to), amount})
-	_, err := b.rt.Submit(reqID, "transfer", []string{acctKey(from), acctKey(to)}, args, tr)
-	return err
-}
-
-func (b *coreBank) Balance(account int) (int64, error) {
-	raw, ok := b.rt.Read(acctKey(account))
-	if !ok {
-		return 0, nil
-	}
-	var bal int64
-	return bal, json.Unmarshal(raw, &bal)
-}
-
-func (b *coreBank) Settle() error { return b.rt.Quiesce(10 * time.Second) }
-func (b *coreBank) Close()        { b.rt.Stop() }
+func (b *bankCell) Settle() error { return b.cell.Settle() }
+func (b *bankCell) Close()        { b.cell.Close() }

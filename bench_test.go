@@ -27,7 +27,6 @@ import (
 	"tca/internal/outbox"
 	"tca/internal/rpc"
 	"tca/internal/saga"
-	"tca/internal/statefun"
 	"tca/internal/store"
 	"tca/internal/workflow"
 	"tca/internal/workload"
@@ -38,33 +37,39 @@ import (
 
 // BenchmarkF1_TaxonomyMatrix runs the same bank-transfer workload under
 // every programming model of Figure 1 and reports real cost, simulated
-// latency and hop count per cell.
+// latency and hop count per cell — driven through the application layer:
+// one BankApp, five Deploy targets.
 func BenchmarkF1_TaxonomyMatrix(b *testing.B) {
 	for _, model := range allModels {
 		b.Run(model.String(), func(b *testing.B) {
 			env := NewEnv(1, 3)
-			bank, err := NewBank(model, env)
+			cell, err := Deploy(model, BankApp(), env)
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer bank.Close()
+			defer cell.Close()
 			const accounts = 64
 			for a := 0; a < accounts; a++ {
-				if err := bank.Deposit(a, 1_000_000); err != nil {
+				args, _ := json.Marshal(bankDepositArgs{Account: a, Amount: 1_000_000})
+				if _, err := cell.Invoke(fmt.Sprintf("seed-%d", a), "deposit", args, nil); err != nil {
 					b.Fatal(err)
 				}
+			}
+			if err := cell.Settle(); err != nil {
+				b.Fatal(err)
 			}
 			gen := workload.NewBank(7, accounts, 0)
 			var sim, hops int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				op := gen.Next()
+				args, _ := json.Marshal(bankTransferArgs{From: op.From, To: op.To, Amount: op.Amount})
 				tr := fabric.NewTrace()
-				bank.Transfer(fmt.Sprintf("f1-%d", i), op.From, op.To, op.Amount, tr)
+				cell.Invoke(fmt.Sprintf("f1-%d", i), "transfer", args, tr)
 				sim += int64(tr.Total())
 				hops += int64(tr.Hops())
 			}
-			bank.Settle()
+			cell.Settle()
 			b.StopTimer()
 			b.ReportMetric(float64(sim)/float64(b.N)/1e3, "sim-us/op")
 			b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
@@ -678,133 +683,102 @@ func BenchmarkE13_OutboxVsDualWrite(b *testing.B) {
 // --- E14: TPC-C subset across coordination styles ----------------------------------------------------------
 
 func BenchmarkE14_TPCC(b *testing.B) {
+	// Throughput measurement: parallel clients pipeline their requests,
+	// which is where the deterministic runtime's lack of coordination pays
+	// off and where 2PC's lock windows bite. All three styles now run the
+	// real TPCCApp bodies through the application layer.
+	styles := []struct {
+		name  string
+		model ProgrammingModel
+	}{
+		{"core", Deterministic},
+		{"actor-2pc", Actors},
+		{"saga", Microservices},
+	}
 	for _, warehouses := range []int{1, 4} {
 		cfg := workload.DefaultTPCCConfig(warehouses)
-		// Throughput measurement: parallel clients pipeline their requests,
-		// which is where the deterministic runtime's lack of coordination
-		// pays off and where 2PC's lock windows bite.
-		b.Run(fmt.Sprintf("core/wh=%d", warehouses), func(b *testing.B) {
-			env := NewEnv(1, 3)
-			rt := core.NewRuntime(env.Broker, core.Config{Name: fmt.Sprintf("tpcc%d-%d", warehouses, b.N), Workers: 16, Cluster: env.Cluster})
-			registerTPCCCore(rt)
-			if err := rt.Start(); err != nil {
-				b.Fatal(err)
-			}
-			defer rt.Stop()
-			var seq, sim atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				gen := workload.NewTPCC(seq.Add(1), cfg)
-				for pb.Next() {
-					op := gen.Next()
-					args, _ := json.Marshal(op)
-					tr := fabric.NewTrace()
-					rt.Submit(fmt.Sprintf("t%d", seq.Add(1)), op.Kind.String(), op.Keys(), args, tr)
-					sim.Add(int64(tr.Total()))
+		for _, style := range styles {
+			b.Run(fmt.Sprintf("%s/wh=%d", style.name, warehouses), func(b *testing.B) {
+				env := NewEnv(1, 3)
+				// Workers widens the core cell for the parallel clients;
+				// the other models ignore it.
+				cell, err := DeployWith(style.model, TPCCApp(), env, Options{Workers: 16})
+				if err != nil {
+					b.Fatal(err)
 				}
-			})
-			b.ReportMetric(float64(sim.Load())/float64(b.N)/1e3, "sim-us/op")
-		})
-		b.Run(fmt.Sprintf("actor-2pc/wh=%d", warehouses), func(b *testing.B) {
-			env := NewEnv(1, 3)
-			sys := actor.NewSystem(env.Cluster, actor.Config{})
-			defer sys.Stop()
-			coord := actor.NewCoordinator(sys)
-			var seq, sim atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				gen := workload.NewTPCC(seq.Add(1), cfg)
-				for pb.Next() {
-					op := gen.Next()
-					tr := fabric.NewTrace()
-					coord.Run(tr, func(t *actor.ActorTxn) error {
-						for _, key := range op.Keys() {
-							ref := actor.Ref{Type: "row", ID: key}
-							row, _, err := t.Read(ref)
-							if err != nil {
-								return err
-							}
-							n := int64(1)
-							if row != nil {
-								n = row.Int("n") + 1
-							}
-							if err := t.Write(ref, store.Row{"n": n}); err != nil {
-								return err
-							}
-						}
-						return nil
-					})
-					sim.Add(int64(tr.Total()))
-				}
-			})
-			b.ReportMetric(float64(sim.Load())/float64(b.N)/1e3, "sim-us/op")
-		})
-		b.Run(fmt.Sprintf("saga/wh=%d", warehouses), func(b *testing.B) {
-			db := store.NewDB(store.Config{})
-			db.CreateTable("rows")
-			orch := saga.NewOrchestrator(nil)
-			var seq atomic.Int64
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				gen := workload.NewTPCC(seq.Add(1), cfg)
-				for pb.Next() {
-					op := gen.Next()
-					keys := op.Keys()
-					steps := make([]saga.Step, len(keys))
-					for si, key := range keys {
-						key := key
-						steps[si] = saga.Step{
-							Name: key,
-							Action: func(c *saga.Ctx) error {
-								return db.Update(func(tx *store.Txn) error {
-									row, _, err := tx.Get("rows", key)
-									if err != nil {
-										return err
-									}
-									n := int64(1)
-									if row != nil {
-										n = row.Int("n") + 1
-									}
-									return tx.Put("rows", key, store.Row{"n": n})
-								})
-							},
-							Compensate: func(c *saga.Ctx) error { return nil },
-						}
+				defer cell.Close()
+				var seq, sim atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					gen := workload.NewTPCC(seq.Add(1), cfg)
+					for pb.Next() {
+						op := gen.Next()
+						args, _ := json.Marshal(op)
+						tr := fabric.NewTrace()
+						cell.Invoke(fmt.Sprintf("t%d", seq.Add(1)), tpccOpName(op), args, tr)
+						sim.Add(int64(tr.Total()))
 					}
-					orch.Execute(&saga.Definition{Name: "tpcc", Steps: steps}, fmt.Sprintf("s%d", seq.Add(1)), nil)
-				}
+				})
+				b.ReportMetric(float64(sim.Load())/float64(b.N)/1e3, "sim-us/op")
 			})
-		})
+		}
 	}
 }
 
-// registerTPCCCore installs NewOrder/Payment as deterministic transactions.
-func registerTPCCCore(rt *core.Runtime) {
-	apply := func(tx *core.Tx, op workload.TPCCOp) ([]byte, error) {
-		for _, key := range op.Keys() {
-			raw, _, err := tx.Get(key)
-			if err != nil {
-				return nil, err
-			}
-			var n int64
-			if raw != nil {
-				json.Unmarshal(raw, &n)
-			}
-			out, _ := json.Marshal(n + 1)
-			if err := tx.Put(key, out); err != nil {
-				return nil, err
-			}
+// --- E17: the TPC-C taxonomy matrix ------------------------------------------------------------
+
+// BenchmarkE17_TPCCMatrix runs the identical seeded TPC-C stream under
+// every programming model via the application layer and audits each cell
+// against the serial reference: per-model throughput, simulated latency,
+// and integrity-constraint anomalies (stock never negative, warehouse YTD
+// = sum of payments, district counters = NewOrder count). Isolated cells
+// report zero anomalies; the dataflow cell's pipelined execution may
+// legitimately drift on the read-modify-write stock keys — exactly-once
+// is not isolation.
+func BenchmarkE17_TPCCMatrix(b *testing.B) {
+	for _, warehouses := range []int{1, 4} { // contention knob: hot vs spread districts
+		cfg := workload.DefaultTPCCConfig(warehouses)
+		for _, model := range allModels {
+			b.Run(fmt.Sprintf("%s/wh=%d", model, warehouses), func(b *testing.B) {
+				env := NewEnv(1, 3)
+				cell, err := Deploy(model, TPCCApp(), env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cell.Close()
+				gen := workload.NewTPCC(11, cfg)
+				audit := NewTPCCAuditor()
+				var sim int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op := gen.Next()
+					args, _ := json.Marshal(op)
+					tr := fabric.NewTrace()
+					if _, err := cell.Invoke(fmt.Sprintf("e17-%d", i), tpccOpName(op), args, tr); err == nil {
+						audit.Record(op)
+					}
+					sim += int64(tr.Total())
+					// Bound the eventual cell's in-flight choreography so the
+					// final settle stays within its timeout.
+					if model == StatefulDataflow && i%256 == 255 {
+						if err := cell.Settle(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := cell.Settle(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				anomalies, err := audit.Verify(cell)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+				b.ReportMetric(float64(sim)/float64(b.N)/1e3, "sim-us/op")
+				b.ReportMetric(float64(len(anomalies)), "anomalies")
+			})
 		}
-		return nil, nil
-	}
-	for _, kind := range []string{"new-order", "payment"} {
-		rt.Register(kind, func(tx *core.Tx, args []byte) ([]byte, error) {
-			var op workload.TPCCOp
-			if err := json.Unmarshal(args, &op); err != nil {
-				return nil, err
-			}
-			return apply(tx, op)
-		})
 	}
 }
 
@@ -1028,27 +1002,5 @@ func BenchmarkE16_CorePartitionScaling(b *testing.B) {
 				}
 			})
 		}
-	}
-}
-
-// --- statefun peek support for E7 -----------------------------------------------------
-
-// PeekBalance reads a statefun account balance without settling: it asks
-// the job's state directly, exposing whatever intermediate state exists.
-func (b *statefunBank) PeekBalance(account int) int64 {
-	// The scoped state lives inside the dataflow instances; a dirty read
-	// is simply Balance without Settle. Use a short probe.
-	id := fmt.Sprintf("%d", account)
-	ch := make(chan int64, 1)
-	b.mu.Lock()
-	b.probes[id] = ch
-	b.mu.Unlock()
-	zero, _ := json.Marshal(int64(0))
-	b.app.SendToIngress(statefun.Ref{Type: "account", ID: id}, zero)
-	select {
-	case v := <-ch:
-		return v
-	case <-time.After(2 * time.Second):
-		return 0
 	}
 }

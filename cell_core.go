@@ -1,0 +1,80 @@
+package tca
+
+import (
+	"time"
+
+	"tca/internal/core"
+	"tca/internal/fabric"
+)
+
+// coreCell deploys an App on the deterministic transactional dataflow
+// runtime (internal/core): every op becomes a registered deterministic
+// transaction, scheduled by its declared key set on the partitioned input
+// log. Serializable and exactly-once by construction — the §5 opportunity
+// cell.
+type coreCell struct {
+	app *App
+	rt  *core.Runtime
+}
+
+func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
+	rt := core.NewRuntime(env.Broker, core.Config{
+		Name:       "cell-" + app.Name(),
+		Cluster:    env.Cluster,
+		Partitions: opts.Partitions,
+		Workers:    opts.Workers,
+	})
+	for _, name := range app.Ops() {
+		op, _ := app.Op(name)
+		rt.Register(op.Name, func(tx *core.Tx, args []byte) ([]byte, error) {
+			return op.Body(coreTxn{tx}, args)
+		})
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	return &coreCell{app: app, rt: rt}, nil
+}
+
+// coreTxn adapts core.Tx to the uniform Txn surface (a direct fit: the
+// runtime already exposes a byte-valued key space).
+type coreTxn struct{ tx *core.Tx }
+
+func (t coreTxn) Get(key string) ([]byte, bool, error) { return t.tx.Get(key) }
+func (t coreTxn) Put(key string, value []byte) error   { return t.tx.Put(key, value) }
+
+func (t coreTxn) Add(key string, delta int64) error {
+	raw, _, err := t.tx.Get(key)
+	if err != nil {
+		return err
+	}
+	return t.tx.Put(key, EncodeInt(DecodeInt(raw)+delta))
+}
+
+func (c *coreCell) Model() ProgrammingModel { return Deterministic }
+func (c *coreCell) App() *App               { return c.app }
+
+func (c *coreCell) Guarantee() Guarantee {
+	return Guarantee{Atomic: true, Isolated: true, ExactlyOnce: true,
+		Note: "deterministic transactional dataflow (Styx-like): serializable, log-ordered, no 2PC"}
+}
+
+func (c *coreCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	op, ok := c.app.Op(opName)
+	if !ok {
+		return nil, opError(c.app, opName)
+	}
+	return c.rt.Submit(reqID, op.Name, c.app.keysOf(op, args), args, tr)
+}
+
+func (c *coreCell) Read(key string) ([]byte, bool, error) {
+	raw, ok := c.rt.Read(key)
+	return raw, ok, nil
+}
+
+func (c *coreCell) Settle() error { return c.rt.Quiesce(10 * time.Second) }
+func (c *coreCell) Close()        { c.rt.Stop() }
+
+// Runtime exposes the underlying deterministic runtime for checkpoint and
+// crash/recovery control (tests, the recovery experiments).
+func (c *coreCell) Runtime() *core.Runtime { return c.rt }

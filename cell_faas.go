@@ -1,0 +1,118 @@
+package tca
+
+import (
+	"tca/internal/faas"
+	"tca/internal/fabric"
+	"tca/internal/store"
+)
+
+// faasCell deploys an App on the FaaS platform with durable entities:
+// every op becomes a registered function, every key a durable entity, and
+// each invocation opens an explicit critical section over the op's
+// declared key set (locks acquired in canonical order — deadlock-free, as
+// Durable Functions requires entities to be declared up front). Writes are
+// buffered and flushed only when the body succeeds, so a business failure
+// leaves no partial state. Invocation ids give exactly-once per op.
+type faasCell struct {
+	app *App
+	p   *faas.Platform
+}
+
+func newFaasCell(app *App, env *Env) *faasCell {
+	c := &faasCell{app: app, p: faas.NewPlatform(env.Cluster, faas.DefaultConfig())}
+	for _, name := range app.Ops() {
+		op, _ := app.Op(name)
+		c.p.Register(op.Name, func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
+			keys := app.keysOf(op, payload)
+			ids := make([]faas.EntityID, len(keys))
+			for i, k := range keys {
+				ids[i] = c.entity(k)
+			}
+			cs := c.p.Entities().Lock(ids...)
+			defer cs.Unlock()
+			ftx := &faasTxn{cell: c, cs: cs, writes: make(map[string][]byte)}
+			result, err := op.Body(ftx, payload)
+			if err != nil {
+				return nil, err // buffered writes dropped: all-or-nothing
+			}
+			for _, k := range sortedKeys(ftx.writes) {
+				value := ftx.writes[k]
+				if err := cs.Update(c.entity(k), func(store.Row) (store.Row, error) {
+					return store.Row{"v": string(value)}, nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+			return result, nil
+		})
+	}
+	return c
+}
+
+func (c *faasCell) entity(key string) faas.EntityID {
+	return faas.EntityID{Type: c.app.Name(), ID: key}
+}
+
+// faasTxn buffers writes inside the critical section; reads see the locked
+// entities overlaid with the op's own writes.
+type faasTxn struct {
+	cell   *faasCell
+	cs     *faas.CriticalSection
+	writes map[string][]byte
+}
+
+func (t *faasTxn) Get(key string) ([]byte, bool, error) {
+	if v, ok := t.writes[key]; ok {
+		return v, true, nil
+	}
+	row, ok, err := t.cs.Get(t.cell.entity(key))
+	if err != nil || !ok {
+		return nil, false, err // undeclared keys surface ErrNotInCriticalSection
+	}
+	return []byte(row.Str("v")), true, nil
+}
+
+func (t *faasTxn) Put(key string, value []byte) error {
+	t.writes[key] = value
+	return nil
+}
+
+func (t *faasTxn) Add(key string, delta int64) error {
+	raw, _, err := t.Get(key)
+	if err != nil {
+		return err
+	}
+	return t.Put(key, EncodeInt(DecodeInt(raw)+delta))
+}
+
+func (c *faasCell) Model() ProgrammingModel { return CloudFunctions }
+func (c *faasCell) App() *App               { return c.app }
+
+func (c *faasCell) Guarantee() Guarantee {
+	return Guarantee{Atomic: true, Isolated: true, ExactlyOnce: true,
+		Note: "Durable-Functions entities: explicit critical sections, dedup by op id; cold starts on the latency tail"}
+}
+
+func (c *faasCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	op, ok := c.app.Op(opName)
+	if !ok {
+		return nil, opError(c.app, opName)
+	}
+	// Route by the first declared key (platform placement only).
+	routing := reqID
+	if keys := c.app.keysOf(op, args); len(keys) > 0 {
+		routing = keys[0]
+	}
+	return c.p.InvokeID(reqID, op.Name, routing, args, tr)
+}
+
+func (c *faasCell) Read(key string) ([]byte, bool, error) {
+	row, ok, err := c.p.Entities().Read(c.entity(key))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return []byte(row.Str("v")), true, nil
+}
+
+func (c *faasCell) Settle() error { return nil }
+func (c *faasCell) Close()        { c.p.Stop() }

@@ -1,0 +1,259 @@
+package tca
+
+import (
+	"fmt"
+	"time"
+
+	"tca/internal/dedup"
+	"tca/internal/fabric"
+	"tca/internal/micro"
+	"tca/internal/rpc"
+	"tca/internal/saga"
+	"tca/internal/store"
+)
+
+// microShards is the number of key-shard services a micro cell deploys —
+// database-per-service, keys hash-routed (the even/odd account split of
+// the original bank, generalized).
+const microShards = 2
+
+// microCell deploys an App on the status-quo stack: stateless services
+// with per-service databases behind REST. The body's Gets are plain RPC
+// reads with no coordination (dirty reads between saga steps are the
+// cell's honest anomaly), and its writes run as a saga — one idempotent
+// step per key, compensated in reverse on failure. Atomic eventually, not
+// isolated.
+type microCell struct {
+	app  *App
+	dep  *micro.Deployment
+	orch *saga.Orchestrator
+}
+
+// kvGetReq/kvApplyReq are the shard services' wire types. Apply either
+// adds Delta to the EncodeInt value (commutative, safely retried under
+// idempotency keys) or, with Set, replaces/deletes the value outright; it
+// returns the previous value so sagas can compensate.
+type kvGetReq struct {
+	Key string `json:"key"`
+}
+
+type kvGetResp struct {
+	Val   string `json:"val"`
+	Found bool   `json:"found"`
+}
+
+type kvApplyReq struct {
+	Key   string `json:"key"`
+	Delta int64  `json:"delta,omitempty"`
+	Set   bool   `json:"set,omitempty"`
+	Del   bool   `json:"del,omitempty"`
+	Val   string `json:"val,omitempty"`
+}
+
+type kvApplyResp struct {
+	Prev      string `json:"prev"`
+	PrevFound bool   `json:"prev_found"`
+}
+
+func newMicroCell(app *App, env *Env) *microCell {
+	dep := micro.NewDeployment(env.Cluster)
+	for s := 0; s < microShards; s++ {
+		// Idempotency middleware makes retries of the non-idempotent
+		// "apply" safe on a lossy, duplicating network (§3.2).
+		svc := dep.AddService(micro.ServiceConfig{
+			Name:        shardService(app, s),
+			Idempotency: dedup.New(0),
+		})
+		svc.DB().CreateTable("state")
+		svc.Handle("get", micro.JSONHandler(func(c *micro.Ctx, r kvGetReq) (kvGetResp, error) {
+			var resp kvGetResp
+			err := c.DB().View(func(tx *store.Txn) error {
+				row, ok, err := tx.Get("state", r.Key)
+				if err != nil {
+					return err
+				}
+				if ok {
+					resp = kvGetResp{Val: row.Str("v"), Found: true}
+				}
+				return nil
+			})
+			return resp, err
+		}))
+		svc.Handle("apply", micro.JSONHandler(func(c *micro.Ctx, r kvApplyReq) (kvApplyResp, error) {
+			var resp kvApplyResp
+			err := c.DB().Update(func(tx *store.Txn) error {
+				row, ok, err := tx.Get("state", r.Key)
+				if err != nil {
+					return err
+				}
+				if ok {
+					resp = kvApplyResp{Prev: row.Str("v"), PrevFound: true}
+				}
+				switch {
+				case r.Set && r.Del:
+					return tx.Delete("state", r.Key)
+				case r.Set:
+					return tx.Put("state", r.Key, store.Row{"v": r.Val})
+				default:
+					cur := DecodeInt([]byte(resp.Prev))
+					return tx.Put("state", r.Key, store.Row{"v": string(EncodeInt(cur + r.Delta))})
+				}
+			})
+			return resp, err
+		}))
+	}
+	return &microCell{app: app, dep: dep, orch: saga.NewOrchestrator(nil)}
+}
+
+func shardService(app *App, shard int) string {
+	return fmt.Sprintf("%s-shard-%d", app.Name(), shard)
+}
+
+func (c *microCell) shardOf(key string) string {
+	return shardService(c.app, keyShard(key, microShards))
+}
+
+func (c *microCell) call(key, op, idemKey string, req, resp any, tr *fabric.Trace) error {
+	var codec micro.Codec
+	svcName := c.shardOf(key)
+	s, err := c.dep.Service(svcName)
+	if err != nil {
+		return err
+	}
+	raw, err := c.dep.Transport().Call(s.Node(), "svc/"+svcName+"/"+op, codec.Marshal(req), tr, rpc.CallOptions{
+		Retries:        3,
+		RetryBackoff:   time.Millisecond,
+		IdempotencyKey: idemKey,
+	})
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		return codec.Unmarshal(raw, resp)
+	}
+	return nil
+}
+
+// microWrite is one buffered write awaiting its saga step.
+type microWrite struct {
+	key   string
+	delta int64 // Add write when !set
+	set   bool  // Put write: replace with val
+	val   []byte
+	// prev captures the apply response for compensation.
+	prev kvApplyResp
+}
+
+// microTxn reads through uncoordinated RPC and buffers writes for the
+// saga. Gets overlay the op's own buffered writes so bodies read their
+// writes.
+type microTxn struct {
+	cell   *microCell
+	tr     *fabric.Trace
+	writes []microWrite
+}
+
+func (t *microTxn) Get(key string) ([]byte, bool, error) {
+	var resp kvGetResp
+	if err := t.cell.call(key, "get", "", kvGetReq{Key: key}, &resp, t.tr); err != nil {
+		return nil, false, err
+	}
+	raw, found := []byte(resp.Val), resp.Found
+	if !found {
+		raw = nil
+	}
+	// Overlay buffered writes in order so bodies read their own writes.
+	for _, w := range t.writes {
+		if w.key != key {
+			continue
+		}
+		if w.set {
+			raw, found = w.val, true
+		} else {
+			raw, found = EncodeInt(DecodeInt(raw)+w.delta), true
+		}
+	}
+	return raw, found, nil
+}
+
+func (t *microTxn) Put(key string, value []byte) error {
+	t.writes = append(t.writes, microWrite{key: key, set: true, val: value})
+	return nil
+}
+
+func (t *microTxn) Add(key string, delta int64) error {
+	t.writes = append(t.writes, microWrite{key: key, delta: delta})
+	return nil
+}
+
+func (c *microCell) Model() ProgrammingModel { return Microservices }
+func (c *microCell) App() *App               { return c.app }
+
+func (c *microCell) Guarantee() Guarantee {
+	return Guarantee{Atomic: true, Isolated: false, ExactlyOnce: false,
+		Note: "saga over REST: compensations on failure, dirty reads mid-saga"}
+}
+
+func (c *microCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	op, ok := c.app.Op(opName)
+	if !ok {
+		return nil, opError(c.app, opName)
+	}
+	tx := &microTxn{cell: c, tr: tr}
+	result, err := op.Body(tx, args)
+	if err != nil {
+		return nil, err // business failure before any write: clean abort
+	}
+	if len(tx.writes) == 0 {
+		return result, nil
+	}
+	steps := make([]saga.Step, len(tx.writes))
+	for i := range tx.writes {
+		i, w := i, &tx.writes[i]
+		steps[i] = saga.Step{
+			Name: w.key,
+			Action: func(*saga.Ctx) error {
+				req := kvApplyReq{Key: w.key, Delta: w.delta}
+				if w.set {
+					req = kvApplyReq{Key: w.key, Set: true, Val: string(w.val)}
+				}
+				return c.call(w.key, "apply", fmt.Sprintf("%s/w%d", reqID, i), req, &w.prev, tr)
+			},
+			Compensate: func(*saga.Ctx) error {
+				req := kvApplyReq{Key: w.key, Delta: -w.delta}
+				if w.set {
+					// Restore (or remove) the value the step replaced.
+					req = kvApplyReq{Key: w.key, Set: true, Val: w.prev.Prev, Del: !w.prev.PrevFound}
+				}
+				return c.call(w.key, "apply", fmt.Sprintf("%s/c%d", reqID, i), req, nil, tr)
+			},
+		}
+	}
+	if err := c.orch.Execute(&saga.Definition{Name: op.Name, Steps: steps}, reqID, nil); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+func (c *microCell) Read(key string) ([]byte, bool, error) {
+	s, err := c.dep.Service(c.shardOf(key))
+	if err != nil {
+		return nil, false, err
+	}
+	var raw []byte
+	var found bool
+	err = s.DB().View(func(tx *store.Txn) error {
+		row, ok, err := tx.Get("state", key)
+		if err != nil {
+			return err
+		}
+		if ok {
+			raw, found = []byte(row.Str("v")), true
+		}
+		return nil
+	})
+	return raw, found, err
+}
+
+func (c *microCell) Settle() error { return nil }
+func (c *microCell) Close()        {}

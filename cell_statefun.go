@@ -1,0 +1,293 @@
+package tca
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tca/internal/fabric"
+	"tca/internal/statefun"
+)
+
+// statefunCell deploys an App on stateful dataflow functions. Every key's
+// state lives in a keyed "key" function; an op runs as a message
+// choreography coordinated by a per-request "txn" function:
+//
+//  1. Invoke appends the op to the ingress (acceptance, not completion);
+//  2. the txn function sends a read request to each declared key;
+//  3. key functions reply with their current values;
+//  4. when the last reply arrives the body runs over the gathered
+//     snapshot, and its writes go out as messages — Put as a full value,
+//     Add as a commutative delta.
+//
+// Every message is exactly-once (the statefun runtime's idempotent
+// produce), so deltas never double-apply — but the snapshot is gathered
+// asynchronously and writes land asynchronously: there is no isolation
+// across keys, the §4.2 gap E7/E17 demonstrate.
+type statefunCell struct {
+	app *App
+	sf  *statefun.App
+
+	probeSeq atomic.Int64
+	mu       sync.Mutex
+	probes   map[string]chan sfProbeResp
+}
+
+// sfMsg is the choreography wire format.
+type sfMsg struct {
+	Kind  string `json:"k"` // "op", "read", "resp", "put", "add", "probe"
+	Req   string `json:"r,omitempty"`
+	Op    string `json:"o,omitempty"`
+	Args  []byte `json:"a,omitempty"`
+	Key   string `json:"key,omitempty"`
+	Val   []byte `json:"v,omitempty"`
+	Found bool   `json:"f,omitempty"`
+	Delta int64  `json:"d,omitempty"`
+	Probe string `json:"p,omitempty"`
+}
+
+type sfProbeResp struct {
+	Val   []byte `json:"v"`
+	Found bool   `json:"f"`
+}
+
+const (
+	sfKeyFn = "key"
+	sfTxnFn = "txn"
+)
+
+func newStatefunCell(app *App, env *Env) (*statefunCell, error) {
+	c := &statefunCell{app: app, probes: make(map[string]chan sfProbeResp)}
+	sf := statefun.NewApp(env.Broker, statefun.Config{
+		Name: "cell-" + app.Name(), Parallelism: 2, Ingress: "cell-" + app.Name() + "-ingress",
+		OnEgress: func(key string, value []byte) {
+			var resp sfProbeResp
+			if json.Unmarshal(value, &resp) != nil {
+				return
+			}
+			c.mu.Lock()
+			ch, ok := c.probes[key]
+			if ok {
+				delete(c.probes, key)
+			}
+			c.mu.Unlock()
+			if ok {
+				select {
+				case ch <- resp:
+				default:
+				}
+			}
+		},
+	})
+	sf.Register(sfKeyFn, c.keyHandler)
+	sf.Register(sfTxnFn, c.txnHandler)
+	if err := sf.Start(); err != nil {
+		return nil, err
+	}
+	c.sf = sf
+	return c, nil
+}
+
+// keyHandler owns one key's state (scoped under the function instance).
+func (c *statefunCell) keyHandler(ctx *statefun.Ctx, payload []byte) error {
+	var m sfMsg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return err
+	}
+	switch m.Kind {
+	case "read":
+		val, found := ctx.Get("v")
+		reply, _ := json.Marshal(sfMsg{Kind: "resp", Req: m.Req, Key: ctx.Self.ID, Val: val, Found: found})
+		return ctx.Send(ctx.Caller, reply)
+	case "put":
+		ctx.Set("v", m.Val)
+	case "add":
+		cur, _ := ctx.Get("v")
+		ctx.Set("v", EncodeInt(DecodeInt(cur)+m.Delta))
+	case "probe":
+		val, found := ctx.Get("v")
+		out, _ := json.Marshal(sfProbeResp{Val: val, Found: found})
+		ctx.SendEgress(m.Probe, out)
+	}
+	return nil
+}
+
+// txnHandler coordinates one op: gathers the declared snapshot, runs the
+// body, and emits the writes. Its scoped state (keyed by the reqID) holds
+// the pending op between rounds.
+func (c *statefunCell) txnHandler(ctx *statefun.Ctx, payload []byte) error {
+	var m sfMsg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return err
+	}
+	switch m.Kind {
+	case "op":
+		op, ok := c.app.Op(m.Op)
+		if !ok {
+			return opError(c.app, m.Op)
+		}
+		keys := c.app.keysOf(op, m.Args)
+		if len(keys) == 0 {
+			return c.runBody(ctx, op, m.Args, nil)
+		}
+		ctx.Set("op", payload)
+		ctx.Set("want", EncodeInt(int64(len(keys))))
+		ctx.Set("got", EncodeInt(0))
+		for _, k := range keys {
+			req, _ := json.Marshal(sfMsg{Kind: "read", Req: ctx.Self.ID, Key: k})
+			if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: k}, req); err != nil {
+				return err
+			}
+		}
+	case "resp":
+		if m.Found {
+			ctx.Set("val/"+m.Key, m.Val)
+		}
+		raw, _ := ctx.Get("got")
+		got := DecodeInt(raw) + 1
+		ctx.Set("got", EncodeInt(got))
+		wantRaw, ok := ctx.Get("want")
+		if !ok || got < DecodeInt(wantRaw) {
+			return nil
+		}
+		opRaw, ok := ctx.Get("op")
+		if !ok {
+			return nil
+		}
+		var pending sfMsg
+		if err := json.Unmarshal(opRaw, &pending); err != nil {
+			return err
+		}
+		op, okOp := c.app.Op(pending.Op)
+		if !okOp {
+			return opError(c.app, pending.Op)
+		}
+		snapshot := make(map[string][]byte)
+		for _, k := range c.app.keysOf(op, pending.Args) {
+			if v, found := ctx.Get("val/" + k); found {
+				snapshot[k] = v
+			}
+			ctx.Del("val/" + k)
+		}
+		ctx.Del("op")
+		ctx.Del("want")
+		ctx.Del("got")
+		return c.runBody(ctx, op, pending.Args, snapshot)
+	}
+	return nil
+}
+
+// runBody executes the body over the gathered snapshot and sends its
+// writes to the key functions. Body errors drop the op (asynchronous cells
+// have no caller to report to — the honest FaaS/dataflow failure mode).
+func (c *statefunCell) runBody(ctx *statefun.Ctx, op Op, args []byte, snapshot map[string][]byte) error {
+	tx := &sfTxn{snapshot: snapshot}
+	if _, err := op.Body(tx, args); err != nil {
+		return nil
+	}
+	for _, w := range tx.writes {
+		var msg []byte
+		if w.set {
+			msg, _ = json.Marshal(sfMsg{Kind: "put", Key: w.key, Val: w.val})
+		} else {
+			msg, _ = json.Marshal(sfMsg{Kind: "add", Key: w.key, Delta: w.delta})
+		}
+		if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: w.key}, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sfTxn runs a body over the choreography's gathered snapshot. Writes are
+// buffered and shipped as messages after the body succeeds; Gets overlay
+// the op's own writes on the snapshot.
+type sfTxn struct {
+	snapshot map[string][]byte
+	writes   []sfWrite
+}
+
+type sfWrite struct {
+	key   string
+	set   bool
+	val   []byte
+	delta int64
+}
+
+func (t *sfTxn) Get(key string) ([]byte, bool, error) {
+	raw, found := t.snapshot[key]
+	for _, w := range t.writes {
+		if w.key != key {
+			continue
+		}
+		if w.set {
+			raw, found = w.val, true
+		} else {
+			raw, found = EncodeInt(DecodeInt(raw)+w.delta), true
+		}
+	}
+	return raw, found, nil
+}
+
+func (t *sfTxn) Put(key string, value []byte) error {
+	t.writes = append(t.writes, sfWrite{key: key, set: true, val: value})
+	return nil
+}
+
+func (t *sfTxn) Add(key string, delta int64) error {
+	t.writes = append(t.writes, sfWrite{key: key, delta: delta})
+	return nil
+}
+
+func (c *statefunCell) Model() ProgrammingModel { return StatefulDataflow }
+func (c *statefunCell) App() *App               { return c.app }
+
+func (c *statefunCell) Guarantee() Guarantee {
+	return Guarantee{Atomic: true, Isolated: false, ExactlyOnce: true,
+		Note: "exactly-once processing; NO isolation across functions (§4.2) — ops settle eventually"}
+}
+
+func (c *statefunCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	if _, ok := c.app.Op(opName); !ok {
+		return nil, opError(c.app, opName)
+	}
+	payload, _ := json.Marshal(sfMsg{Kind: "op", Req: reqID, Op: opName, Args: args})
+	// Asynchronous: acceptance, not completion.
+	tr.Charge(time.Millisecond / 2) // one produce hop
+	return nil, c.sf.SendToIngress(statefun.Ref{Type: sfTxnFn, ID: reqID}, payload)
+}
+
+// Read settles, then probes the key function's scoped state through the
+// egress.
+func (c *statefunCell) Read(key string) ([]byte, bool, error) {
+	if err := c.Settle(); err != nil {
+		return nil, false, err
+	}
+	return c.Peek(key)
+}
+
+// Peek reads a key without settling — the dirty read an external observer
+// performs mid-flight (experiment E7).
+func (c *statefunCell) Peek(key string) ([]byte, bool, error) {
+	probe := fmt.Sprintf("probe-%d", c.probeSeq.Add(1))
+	ch := make(chan sfProbeResp, 1)
+	c.mu.Lock()
+	c.probes[probe] = ch
+	c.mu.Unlock()
+	msg, _ := json.Marshal(sfMsg{Kind: "probe", Probe: probe})
+	if err := c.sf.SendToIngress(statefun.Ref{Type: sfKeyFn, ID: key}, msg); err != nil {
+		return nil, false, err
+	}
+	select {
+	case resp := <-ch:
+		return resp.Val, resp.Found, nil
+	case <-time.After(5 * time.Second):
+		return nil, false, errors.New("tca: statefun read probe timeout")
+	}
+}
+
+func (c *statefunCell) Settle() error { return c.sf.WaitIdle(10 * time.Second) }
+func (c *statefunCell) Close()        { c.sf.Stop() }

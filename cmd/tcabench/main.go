@@ -5,9 +5,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -23,13 +25,39 @@ import (
 
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
+	experiment := flag.String("experiment", "all",
+		"comma-separated experiments to run: f1,e6,e10,e16,e17 (or all)")
 	flag.Parse()
 
+	known := []struct {
+		name string
+		run  func(*tabwriter.Writer, int)
+	}{
+		{"f1", runF1},
+		{"e6", runE6},
+		{"e10", runE10},
+		{"e16", runE16},
+		{"e17", runE17},
+	}
+	selected := map[string]bool{}
+	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
+		name = strings.TrimSpace(name)
+		valid := name == "all"
+		for _, exp := range known {
+			valid = valid || name == exp.name
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17 or all)\n", name)
+			os.Exit(2)
+		}
+		selected[name] = true
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	runF1(w, *ops)
-	runE6(w, *ops)
-	runE10(w, *ops)
-	runE16(w, *ops)
+	for _, exp := range known {
+		if selected["all"] || selected[exp.name] {
+			exp.run(w, *ops)
+		}
+	}
 	w.Flush()
 }
 
@@ -171,6 +199,63 @@ func runE16(w *tabwriter.Writer, ops int) {
 			base = rate
 		}
 		fmt.Fprintf(w, "%d\t%.0f tx/s\t%.1fx\n", parts, rate, rate/base)
+	}
+	fmt.Fprintln(w)
+}
+
+// runE17 prints the TPC-C taxonomy matrix: the same seeded
+// NewOrder/Payment stream under every programming model through the
+// application layer (tca.App), with the integrity-constraint audit per
+// cell — the cross-model generalization of F1 beyond the bank.
+func runE17(w *tabwriter.Writer, ops int) {
+	fmt.Fprintln(w, "E17: TPC-C matrix — one tca.App, every programming model, audited invariants")
+	fmt.Fprintln(w, "model\twh\ttx/s\tsim-p50\tsim-p99\tanomalies")
+	models := []tca.ProgrammingModel{
+		tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
+	}
+	for _, warehouses := range []int{1, 4} {
+		cfg := workload.DefaultTPCCConfig(warehouses)
+		for _, model := range models {
+			env := tca.NewEnv(1, 3)
+			cell, err := tca.Deploy(model, tca.TPCCApp(), env)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%d\terror: %v\n", model, warehouses, err)
+				continue
+			}
+			gen := workload.NewTPCC(11, cfg)
+			audit := tca.NewTPCCAuditor()
+			simHist := metrics.NewHistogram()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				tr := fabric.NewTrace()
+				if _, err := cell.Invoke(fmt.Sprintf("e17-%d", i), op.Kind.String(), args, tr); err == nil {
+					audit.Record(op)
+				}
+				simHist.RecordDuration(tr.Total())
+				// Bound the eventual cell's in-flight choreography.
+				if model == tca.StatefulDataflow && i%256 == 255 {
+					cell.Settle()
+				}
+			}
+			cell.Settle()
+			elapsed := time.Since(start)
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%d\taudit error: %v\n", model, warehouses, err)
+				cell.Close()
+				continue
+			}
+			snap := simHist.Snapshot()
+			fmt.Fprintf(w, "%v\t%d\t%.0f\t%v\t%v\t%d\n",
+				model, warehouses,
+				float64(ops)/elapsed.Seconds(),
+				time.Duration(snap.P50).Round(time.Microsecond),
+				time.Duration(snap.P99).Round(time.Microsecond),
+				len(anomalies))
+			cell.Close()
+		}
 	}
 	fmt.Fprintln(w)
 }

@@ -8,6 +8,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"tca/internal/fabric"
 	"tca/internal/saga"
@@ -78,7 +79,13 @@ func main() {
 	db.View(func(tx *store.Txn) error {
 		counts := map[string]int{}
 		tx.Scan("bookings", "", "", func(k string, _ store.Row) bool {
-			counts[k[:8]]++ // trip-XXX prefix
+			// Keys are "<trip-id>/<step>"; count per trip id. Slicing a
+			// fixed prefix would panic on short keys.
+			id := k
+			if i := strings.IndexByte(k, '/'); i >= 0 {
+				id = k[:i]
+			}
+			counts[id]++
 			return true
 		})
 		for id, n := range counts {

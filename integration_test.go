@@ -119,17 +119,17 @@ func TestCoreBankConservesAcrossCrashRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cb := bank.(*coreBank)
+	rt := bank.(*bankCell).cell.(*coreCell).Runtime()
 	for i := 0; i < 30; i++ {
 		bank.Transfer(fmt.Sprintf("t-%d", i), i%accounts, (i+1)%accounts, 2, nil)
 		if i == 10 {
-			if _, err := cb.rt.Checkpoint(); err != nil {
+			if _, err := rt.Checkpoint(); err != nil {
 				t.Fatal(err)
 			}
 		}
 		if i == 20 {
-			cb.rt.Crash()
-			if err := cb.rt.Recover(); err != nil {
+			rt.Crash()
+			if err := rt.Recover(); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -257,7 +257,9 @@ type MarketConfig struct {
 	CartFrac     float64
 	CheckoutFrac float64
 	PriceFrac    float64
-	// ZipfS skews product popularity (1.0 = mild; higher = hotter).
+	// ZipfS skews product popularity. rand.NewZipf requires s > 1, so
+	// NewMarket clamps any value <= 1.0 up to 1.1 (the mildest supported
+	// skew); higher values concentrate traffic on fewer products.
 	ZipfS float64
 }
 
@@ -287,6 +289,8 @@ func NewMarket(seed int64, cfg MarketConfig) *MarketGen {
 		cfg.Products = 500
 	}
 	if cfg.ZipfS <= 1.0 {
+		// rand.NewZipf panics (returns nil) for s <= 1; clamp to the
+		// mildest legal skew rather than fail. Documented on MarketConfig.
 		cfg.ZipfS = 1.1
 	}
 	rng := rand.New(rand.NewSource(seed))

@@ -5,22 +5,42 @@
 //
 // The paper organizes the landscape along three axes — programming model,
 // messaging, and state management — and three requirements: fault
-// tolerance, consistency, and lifecycle. This package lets you instantiate
-// the *same application* (a bank with transfers, the running example of the
-// transactional-cloud-apps literature) under every programming model the
-// paper surveys, with honest guarantees for each:
+// tolerance, consistency, and lifecycle. This package lets you run the
+// *same application* under every programming model the paper surveys,
+// with honest guarantees for each:
 //
-//	model            messaging      state          transfer guarantee
-//	-----            ---------      -----          ------------------
+//	model            messaging      state          op guarantee
+//	-----            ---------      -----          ------------
 //	Microservices    REST (sync)    external DB    saga: atomic eventually, no isolation
 //	Actors           async msgs     external DB    2PC + 2PL: serializable, blocking
 //	CloudFunctions   sync invoke    entity store   entity locks: atomic, deadlock-free
 //	StatefulDataflow log (async)    embedded       exactly-once, NO isolation
 //	Deterministic    log (async)    embedded       serializable + exactly-once (Styx-like)
 //
-// Construct a cell with NewBank and drive it with the workload generators
-// in internal/workload; the repository's bench suite (bench_test.go) does
-// exactly that for every experiment in EXPERIMENTS.md.
+// # The application layer
+//
+// Applications and deployment cells are separate layers (app.go):
+//
+//   - An App (NewApp + Register) is a model-agnostic set of named Ops.
+//     Each Op declares the key set it touches and a deterministic Body
+//     over the uniform Txn surface — Get, Put, and the commutative Add.
+//   - Deploy(model, app, env) instantiates the App under one taxonomy
+//     cell and returns a Cell: Invoke runs an op with the cell's honest
+//     semantics (a saga, an actor transaction, an entity critical
+//     section, a dataflow message choreography, or a deterministic
+//     log-ordered transaction), Read audits settled state, and Guarantee
+//     reports what the cell really promises.
+//
+// Two applications ship as App constructors: BankApp (the literature's
+// running example; the Bank interface wraps it for compatibility) and
+// TPCCApp (the TPC-C NewOrder/Payment subset, with TPCCAuditor checking
+// cross-model integrity constraints). Writing another workload is a
+// ~100-line App, not a per-model fork.
+//
+// Construct a cell with Deploy (or NewBank for the wrapped bank) and
+// drive it with the workload generators in internal/workload; the bench
+// suite (bench_test.go) does exactly that for every experiment in
+// EXPERIMENTS.md.
 package tca
 
 import (
@@ -138,6 +158,10 @@ type Options struct {
 	// scheduler) across that many partitions; zero or one means a single
 	// log. Other models ignore it. E16 sweeps this knob.
 	Partitions int
+	// Workers bounds the Deterministic cell's concurrently executing
+	// transactions (zero = the runtime default). Other models ignore it;
+	// the pipelined-parallel benchmarks (E14) raise it.
+	Workers int
 }
 
 // Guarantee describes what a deployment cell actually promises — the

@@ -1,0 +1,214 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tca/internal/workload"
+)
+
+// TPC-C (the NewOrder/Payment subset of internal/workload) as a
+// first-class App: the same seeded op stream runs under all five
+// programming models, and TPCCAuditor checks the classic
+// integrity-constraint story across them — stock never negative,
+// warehouse YTD equal to the sum of payments, district order counters
+// equal to the number of NewOrders.
+//
+// State encoding (all values EncodeInt int64):
+//
+//	wh/W        warehouse year-to-date payment total (starts 0)
+//	dist/W/D    orders issued in the district (starts 0; next_o_id - 1)
+//	cust/W/D/C  customer balance (starts 0, payments subtract)
+//	stock/W/I   stock level (starts at tpccInitialStock on first touch)
+//
+// Counters are written with commutative Adds, so they stay exact even on
+// the eventual cells; stock is an honest read-modify-write (the restock
+// decision depends on the read), which is exactly where cells without
+// isolation drift — the anomaly E17 reports.
+
+// tpccInitialStock is the stock level of an untouched item, and
+// tpccRestock the replenishment the standard prescribes when a NewOrder
+// would leave fewer than tpccRestockFloor units.
+const (
+	tpccInitialStock = 100
+	tpccRestock      = 91
+	tpccRestockFloor = 10
+)
+
+// TPCCApp builds the TPC-C subset as a model-agnostic App. Op arguments
+// are JSON-encoded workload.TPCCOp descriptors, so any workload.TPCCGen
+// stream drives any cell.
+func TPCCApp() *App {
+	app := NewApp("tpcc")
+	keys := func(args []byte) []string {
+		var op workload.TPCCOp
+		json.Unmarshal(args, &op)
+		return op.Keys()
+	}
+	app.Register(Op{Name: workload.TPCCNewOrder.String(), Keys: keys, Body: tpccNewOrder})
+	app.Register(Op{Name: workload.TPCCPayment.String(), Keys: keys, Body: tpccPayment})
+	return app
+}
+
+// tpccOpName maps a generated op to its registered op name.
+func tpccOpName(op workload.TPCCOp) string { return op.Kind.String() }
+
+// tpccNewOrder issues one order: bump the district's order counter and
+// draw down stock for every line, restocking when a line would leave the
+// shelf below the floor.
+func tpccNewOrder(tx Txn, args []byte) ([]byte, error) {
+	var op workload.TPCCOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	if err := tx.Add(workload.DistrictKey(op.Warehouse, op.District), 1); err != nil {
+		return nil, err
+	}
+	sw := op.Warehouse
+	if op.Remote {
+		sw = op.RemoteWarehouse
+	}
+	// Aggregate duplicate items so each stock key gets one read and one
+	// write (the declared key set is deduplicated the same way).
+	qty := make(map[string]int64)
+	var order []string
+	for _, it := range op.Items {
+		k := workload.StockKey(sw, it.ItemID)
+		if _, seen := qty[k]; !seen {
+			order = append(order, k)
+		}
+		qty[k] += int64(it.Qty)
+	}
+	for _, k := range order {
+		raw, found, err := tx.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		s := int64(tpccInitialStock)
+		if found {
+			s = DecodeInt(raw)
+		}
+		for s-qty[k] < tpccRestockFloor {
+			s += tpccRestock
+		}
+		s -= qty[k]
+		if err := tx.Put(k, EncodeInt(s)); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// tpccPayment applies one payment: warehouse YTD up, customer balance
+// down — pure commutative deltas, so every cell keeps them exact.
+func tpccPayment(tx Txn, args []byte) ([]byte, error) {
+	var op workload.TPCCOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	if err := tx.Add(workload.WarehouseKey(op.Warehouse), op.Amount); err != nil {
+		return nil, err
+	}
+	cw := op.Warehouse
+	if op.Remote {
+		cw = op.RemoteWarehouse
+	}
+	return nil, tx.Add(workload.CustomerKey(cw, op.District, op.Customer), -op.Amount)
+}
+
+// mapTxn is the reference Txn: a plain map, applied sequentially. The
+// auditor replays the op stream on it with the very same bodies, making
+// the reference definitionally the serial outcome.
+type mapTxn map[string][]byte
+
+func (m mapTxn) Get(key string) ([]byte, bool, error) {
+	v, ok := m[key]
+	return v, ok, nil
+}
+
+func (m mapTxn) Put(key string, value []byte) error {
+	m[key] = value
+	return nil
+}
+
+func (m mapTxn) Add(key string, delta int64) error {
+	m[key] = EncodeInt(DecodeInt(m[key]) + delta)
+	return nil
+}
+
+// TPCCAuditor replays a TPC-C op stream on a serial reference and then
+// verifies a cell against it: per-key equality with the serial outcome
+// plus the cross-model integrity constraints (stock never negative,
+// warehouse YTD = sum of payments, district counter = NewOrder count) in
+// the spirit of classic integrity-constraint checking.
+type TPCCAuditor struct {
+	app      *App
+	state    mapTxn
+	payments map[string]int64 // warehouse key -> expected YTD
+	orders   map[string]int64 // district key -> expected order count
+}
+
+// NewTPCCAuditor creates an empty auditor.
+func NewTPCCAuditor() *TPCCAuditor {
+	return &TPCCAuditor{
+		app:      TPCCApp(),
+		state:    make(mapTxn),
+		payments: make(map[string]int64),
+		orders:   make(map[string]int64),
+	}
+}
+
+// Record replays one applied op on the serial reference.
+func (a *TPCCAuditor) Record(op workload.TPCCOp) {
+	args, _ := json.Marshal(op)
+	registered, _ := a.app.Op(tpccOpName(op))
+	registered.Body(a.state, args)
+	switch op.Kind {
+	case workload.TPCCNewOrder:
+		a.orders[workload.DistrictKey(op.Warehouse, op.District)]++
+	case workload.TPCCPayment:
+		a.payments[workload.WarehouseKey(op.Warehouse)] += op.Amount
+	}
+}
+
+// Verify settles the cell and returns one description per violated
+// constraint (empty = the cell preserved every invariant and matches the
+// serial outcome).
+func (a *TPCCAuditor) Verify(c Cell) ([]string, error) {
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	var anomalies []string
+	for _, key := range sortedKeys(a.state) {
+		raw, _, err := c.Read(key)
+		if err != nil {
+			return anomalies, err
+		}
+		got, want := DecodeInt(raw), DecodeInt(a.state[key])
+		if len(key) > 6 && key[:6] == "stock/" && got < 0 {
+			anomalies = append(anomalies, fmt.Sprintf("%s: negative stock %d", key, got))
+		}
+		if got != want {
+			anomalies = append(anomalies, fmt.Sprintf("%s: %d, serial reference %d", key, got, want))
+		}
+	}
+	for wh, want := range a.payments {
+		raw, _, err := c.Read(wh)
+		if err != nil {
+			return anomalies, err
+		}
+		if got := DecodeInt(raw); got != want {
+			anomalies = append(anomalies, fmt.Sprintf("%s: YTD %d != sum of payments %d", wh, got, want))
+		}
+	}
+	for dist, want := range a.orders {
+		raw, _, err := c.Read(dist)
+		if err != nil {
+			return anomalies, err
+		}
+		if got := DecodeInt(raw); got != want {
+			anomalies = append(anomalies, fmt.Sprintf("%s: %d orders counted, %d issued", dist, got, want))
+		}
+	}
+	return anomalies, nil
+}
