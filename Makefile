@@ -1,7 +1,7 @@
 # verify is what CI runs (.github/workflows/ci.yml): formatting, vet,
 # build, the full test suite under the race detector, and a one-iteration
 # benchmark smoke pass so bench-only code paths can't rot unbuilt.
-.PHONY: verify fmt test bench bench-smoke
+.PHONY: verify fmt test bench bench-smoke bench-json
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -26,3 +26,11 @@ bench:
 # compile-and-execute check for the bench-only code paths.
 bench-smoke:
 	go test -bench . -benchtime 1x -run '^$$'
+
+# bench-json writes a machine-readable summary of the headline
+# experiments to BENCH_latest.json so the perf trajectory can be tracked
+# across PRs (compare the same row/metric between commits).
+BENCH_OPS ?= 300
+bench-json:
+	go run ./cmd/tcabench -json -ops $(BENCH_OPS) > BENCH_latest.json
+	@echo "wrote BENCH_latest.json"

@@ -2,6 +2,7 @@ package tca
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -68,12 +69,40 @@ type Op struct {
 	// sharded cells route with it, and dataflow cells gather reads from it
 	// before the body runs. Bodies must confine their Gets to these keys.
 	Keys func(args []byte) []string
+	// ReadOnly declares the op a pure query: its body reads its declared
+	// keys and returns a result without writing. Cells use the hint to
+	// skip their write machinery — the saga cell stages no compensated
+	// steps, the actor cell takes shared locks and skips 2PC, the entity
+	// cell skips the buffered-write commit, the dataflow cell answers
+	// from the read-gather phase without a write-emit round, and the
+	// deterministic cell reads its committed state without consuming a
+	// write-schedule slot. The contract is enforced: a ReadOnly body that
+	// calls Put or Add gets ErrReadOnlyOp on every cell.
+	ReadOnly bool
 	// Body executes the op over the cell's Txn. It must be deterministic
 	// (same visible state + args => same writes and result) and safe to
 	// re-execute: cells retry it on concurrency-control conflicts and
 	// replay it for recovery. Returning an error aborts the op where the
 	// cell supports atomicity — no buffered writes apply.
 	Body func(tx Txn, args []byte) ([]byte, error)
+}
+
+// ErrReadOnlyOp rejects writes from the body of an Op declared ReadOnly.
+var ErrReadOnlyOp = errors.New("tca: write attempted by read-only op")
+
+// roTxn enforces the ReadOnly contract over any cell's Txn.
+type roTxn struct{ Txn }
+
+func (roTxn) Put(string, []byte) error { return ErrReadOnlyOp }
+func (roTxn) Add(string, int64) error  { return ErrReadOnlyOp }
+
+// guard wraps tx to reject writes when the op is declared ReadOnly, so
+// every cell enforces the same contract regardless of its write path.
+func (op Op) guard(tx Txn) Txn {
+	if op.ReadOnly {
+		return roTxn{tx}
+	}
+	return tx
 }
 
 // App is a model-agnostic transactional application: a named set of Ops

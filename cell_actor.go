@@ -69,11 +69,20 @@ func (c *actorCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) 
 		return nil, opError(c.app, opName)
 	}
 	var result []byte
-	err := c.coord.Run(tr, func(t *actor.ActorTxn) error {
+	body := func(t *actor.ActorTxn) error {
 		var bodyErr error
-		result, bodyErr = op.Body(actorTxn{cell: c, tx: t}, args)
+		result, bodyErr = op.Body(op.guard(actorTxn{cell: c, tx: t}), args)
 		return bodyErr
-	})
+	}
+	var err error
+	if op.ReadOnly {
+		// Queries take shared 2PL locks and skip the prepare/commit rounds
+		// — the read-only optimization of 2PC, two round trips per
+		// participant node saved.
+		err = c.coord.RunReadOnly(tr, body)
+	} else {
+		err = c.coord.Run(tr, body)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -27,7 +27,7 @@ func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)
 		rt.Register(op.Name, func(tx *core.Tx, args []byte) ([]byte, error) {
-			return op.Body(coreTxn{tx}, args)
+			return op.Body(op.guard(coreTxn{tx}), args)
 		})
 	}
 	if err := rt.Start(); err != nil {
@@ -63,6 +63,12 @@ func (c *coreCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) (
 	op, ok := c.app.Op(opName)
 	if !ok {
 		return nil, opError(c.app, opName)
+	}
+	if op.ReadOnly {
+		// Queries execute against a consistent cut of the committed MVCC
+		// view: no log append, no write-schedule slot, no conflict chain
+		// entry — the write pipeline never sees them.
+		return c.rt.SubmitReadOnly(reqID, op.Name, c.app.keysOf(op, args), args, tr)
 	}
 	return c.rt.Submit(reqID, op.Name, c.app.keysOf(op, args), args, tr)
 }

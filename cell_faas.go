@@ -31,9 +31,14 @@ func newFaasCell(app *App, env *Env) *faasCell {
 			cs := c.p.Entities().Lock(ids...)
 			defer cs.Unlock()
 			ftx := &faasTxn{cell: c, cs: cs, writes: make(map[string][]byte)}
-			result, err := op.Body(ftx, payload)
+			result, err := op.Body(op.guard(ftx), payload)
 			if err != nil {
 				return nil, err // buffered writes dropped: all-or-nothing
+			}
+			if op.ReadOnly {
+				// Queries read the locked entities and return: the
+				// buffered-write commit loop never runs.
+				return result, nil
 			}
 			for _, k := range sortedKeys(ftx.writes) {
 				value := ftx.writes[k]

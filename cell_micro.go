@@ -200,11 +200,13 @@ func (c *microCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) 
 		return nil, opError(c.app, opName)
 	}
 	tx := &microTxn{cell: c, tr: tr}
-	result, err := op.Body(tx, args)
+	result, err := op.Body(op.guard(tx), args)
 	if err != nil {
 		return nil, err // business failure before any write: clean abort
 	}
-	if len(tx.writes) == 0 {
+	if op.ReadOnly || len(tx.writes) == 0 {
+		// Queries pay only their uncoordinated RPC reads: no saga is
+		// staged, no per-key apply steps, no compensations registered.
 		return result, nil
 	}
 	steps := make([]saga.Step, len(tx.writes))

@@ -185,7 +185,14 @@ func (c *statefunCell) txnHandler(ctx *statefun.Ctx, payload []byte) error {
 // have no caller to report to — the honest FaaS/dataflow failure mode).
 func (c *statefunCell) runBody(ctx *statefun.Ctx, op Op, args []byte, snapshot map[string][]byte) error {
 	tx := &sfTxn{snapshot: snapshot}
-	if _, err := op.Body(tx, args); err != nil {
+	if _, err := op.Body(op.guard(tx), args); err != nil {
+		return nil
+	}
+	if op.ReadOnly {
+		// A query is answered by the read-gather phase itself: the body ran
+		// over the gathered snapshot and there is no write-emit round —
+		// half the choreography's messages, and the key functions never
+		// see the op.
 		return nil
 	}
 	for _, w := range tx.writes {

@@ -2,12 +2,18 @@
 // (without the testing harness) and prints one table per experiment — the
 // rows EXPERIMENTS.md records. Use `go test -bench .` for the full suite
 // with statistically settled numbers; tcabench is the quick look.
+//
+// With -json the tables are replaced by a machine-readable summary on
+// stdout (one row object per table row, metrics keyed by name), which
+// `make bench-json` writes to BENCH_latest.json so the perf trajectory
+// can be tracked across PRs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -23,21 +29,46 @@ import (
 	"tca/internal/workload"
 )
 
+// allModels is the five-cell sweep order shared by the matrix experiments.
+var allModels = []tca.ProgrammingModel{
+	tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
+}
+
+// benchRow is one machine-readable result row.
+type benchRow struct {
+	Experiment string             `json:"experiment"`
+	Row        string             `json:"row"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// reporter accumulates rows for the -json summary alongside the tables.
+type reporter struct {
+	rows []benchRow
+}
+
+func (r *reporter) add(exp, row string, m map[string]float64) {
+	r.rows = append(r.rows, benchRow{Experiment: exp, Row: row, Metrics: m})
+}
+
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19 (or all)")
+	jsonOut := flag.Bool("json", false,
+		"emit a machine-readable JSON summary on stdout instead of tables")
 	flag.Parse()
 
 	known := []struct {
 		name string
-		run  func(*tabwriter.Writer, int)
+		run  func(*tabwriter.Writer, *reporter, int)
 	}{
 		{"f1", runF1},
 		{"e6", runE6},
 		{"e10", runE10},
 		{"e16", runE16},
 		{"e17", runE17},
+		{"e18", runE18},
+		{"e19", runE19},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -47,29 +78,42 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tableOut := io.Writer(os.Stdout)
+	if *jsonOut {
+		tableOut = io.Discard
+	}
+	w := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
+	rep := &reporter{}
 	for _, exp := range known {
 		if selected["all"] || selected[exp.name] {
-			exp.run(w, *ops)
+			exp.run(w, rep, *ops)
 		}
 	}
 	w.Flush()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			OpsPerCell int        `json:"ops_per_cell"`
+			Rows       []benchRow `json:"rows"`
+		}{*ops, rep.rows}); err != nil {
+			fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runF1 prints the taxonomy matrix: the same bank workload under every
 // programming model, with per-cell guarantees and costs.
-func runF1(w *tabwriter.Writer, ops int) {
+func runF1(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "F1: taxonomy matrix — bank transfers under every programming model")
 	fmt.Fprintln(w, "model\treal-us/op\tsim-lat-p50\tsim-lat-p99\thops/op\tguarantee")
-	models := []tca.ProgrammingModel{
-		tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
-	}
-	for _, model := range models {
+	for _, model := range allModels {
 		env := tca.NewEnv(1, 3)
 		bank, err := tca.NewBank(model, env)
 		if err != nil {
@@ -101,13 +145,19 @@ func runF1(w *tabwriter.Writer, ops int) {
 			time.Duration(snap.P99).Round(time.Microsecond),
 			float64(hops)/float64(ops),
 			bank.Guarantee())
+		rep.add("f1", model.String(), map[string]float64{
+			"real_us_op": float64(elapsed.Microseconds()) / float64(ops),
+			"sim_p50_us": float64(snap.P50) / 1e3,
+			"sim_p99_us": float64(snap.P99) / 1e3,
+			"hops_op":    float64(hops) / float64(ops),
+		})
 		bank.Close()
 	}
 	fmt.Fprintln(w)
 }
 
 // runE6 prints the cold-start experiment.
-func runE6(w *tabwriter.Writer, ops int) {
+func runE6(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E6: FaaS cold starts — simulated invocation latency")
 	fmt.Fprintln(w, "policy\tsim-p50\tsim-p99\tcold-starts")
 	for _, tc := range []struct {
@@ -130,11 +180,17 @@ func runE6(w *tabwriter.Writer, ops int) {
 			hist.RecordDuration(tr.Total())
 		}
 		snap := hist.Snapshot()
+		cold := p.Metrics().Counter("faas.cold_starts").Value()
 		fmt.Fprintf(w, "%s\t%v\t%v\t%d\n",
 			tc.name,
 			time.Duration(snap.P50).Round(time.Microsecond),
 			time.Duration(snap.P99).Round(time.Microsecond),
-			p.Metrics().Counter("faas.cold_starts").Value())
+			cold)
+		rep.add("e6", tc.name, map[string]float64{
+			"sim_p50_us":  float64(snap.P50) / 1e3,
+			"sim_p99_us":  float64(snap.P99) / 1e3,
+			"cold_starts": float64(cold),
+		})
 	}
 	fmt.Fprintln(w)
 }
@@ -143,7 +199,7 @@ func runE6(w *tabwriter.Writer, ops int) {
 // the same transfer workload against 1/2/4/8 log partitions, all
 // shard-local traffic, with a modeled 80µs per-record append latency —
 // the serial cost sharding overlaps.
-func runE16(w *tabwriter.Writer, ops int) {
+func runE16(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E16: core partition scaling — shard-local transfers, modeled 80µs/record log append")
 	fmt.Fprintln(w, "partitions\tthroughput\tspeedup")
 	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
@@ -199,61 +255,249 @@ func runE16(w *tabwriter.Writer, ops int) {
 			base = rate
 		}
 		fmt.Fprintf(w, "%d\t%.0f tx/s\t%.1fx\n", parts, rate, rate/base)
+		rep.add("e16", fmt.Sprintf("partitions=%d", parts), map[string]float64{
+			"tx_s":    rate,
+			"speedup": rate / base,
+		})
 	}
 	fmt.Fprintln(w)
+}
+
+// runMatrixCell drives one cell with a seeded op stream and reports the
+// shared matrix metrics. next returns the op name, its args and whether
+// the op should be recorded against the audit when accepted; record
+// replays it on the serial reference; verify returns the anomalies.
+func runMatrixCell(cell tca.Cell, ops int,
+	next func(i int) (name string, args []byte),
+	record func(i int, accepted bool),
+	verify func() ([]string, error),
+) (rate float64, p50, p99 time.Duration, anomalies int, err error) {
+	simHist := metrics.NewHistogram()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		name, args := next(i)
+		tr := fabric.NewTrace()
+		_, invErr := cell.Invoke(fmt.Sprintf("op-%d", i), name, args, tr)
+		record(i, invErr == nil)
+		simHist.RecordDuration(tr.Total())
+		// Bound the eventual cell's in-flight choreography.
+		if cell.Model() == tca.StatefulDataflow && i%256 == 255 {
+			cell.Settle()
+		}
+	}
+	if err = cell.Settle(); err != nil {
+		return
+	}
+	elapsed := time.Since(start)
+	var anomalyList []string
+	anomalyList, err = verify()
+	if err != nil {
+		return
+	}
+	snap := simHist.Snapshot()
+	return float64(ops) / elapsed.Seconds(),
+		time.Duration(snap.P50).Round(time.Microsecond),
+		time.Duration(snap.P99).Round(time.Microsecond),
+		len(anomalyList), nil
 }
 
 // runE17 prints the TPC-C taxonomy matrix: the same seeded
 // NewOrder/Payment stream under every programming model through the
 // application layer (tca.App), with the integrity-constraint audit per
-// cell — the cross-model generalization of F1 beyond the bank.
-func runE17(w *tabwriter.Writer, ops int) {
+// cell — swept over the cross-warehouse rate, the app-level counterpart
+// of E16's cross-partition ratio.
+func runE17(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E17: TPC-C matrix — one tca.App, every programming model, audited invariants")
-	fmt.Fprintln(w, "model\twh\ttx/s\tsim-p50\tsim-p99\tanomalies")
-	models := []tca.ProgrammingModel{
-		tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
-	}
-	for _, warehouses := range []int{1, 4} {
-		cfg := workload.DefaultTPCCConfig(warehouses)
-		for _, model := range models {
+	fmt.Fprintln(w, "model\twh\tremote\ttx/s\tsim-p50\tsim-p99\tanomalies")
+	for _, sweep := range []struct {
+		warehouses int
+		remotePct  int
+	}{
+		{1, 0}, {4, 0}, {4, 50},
+	} {
+		cfg := workload.DefaultTPCCConfig(sweep.warehouses)
+		cfg.RemoteFrac = workload.RemoteFrac(float64(sweep.remotePct) / 100)
+		for _, model := range allModels {
 			env := tca.NewEnv(1, 3)
 			cell, err := tca.Deploy(model, tca.TPCCApp(), env)
 			if err != nil {
-				fmt.Fprintf(w, "%v\t%d\terror: %v\n", model, warehouses, err)
+				fmt.Fprintf(w, "%v\t%d\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, err)
 				continue
 			}
 			gen := workload.NewTPCC(11, cfg)
 			audit := tca.NewTPCCAuditor()
-			simHist := metrics.NewHistogram()
-			start := time.Now()
-			for i := 0; i < ops; i++ {
-				op := gen.Next()
-				args, _ := json.Marshal(op)
-				tr := fabric.NewTrace()
-				if _, err := cell.Invoke(fmt.Sprintf("e17-%d", i), op.Kind.String(), args, tr); err == nil {
-					audit.Record(op)
-				}
-				simHist.RecordDuration(tr.Total())
-				// Bound the eventual cell's in-flight choreography.
-				if model == tca.StatefulDataflow && i%256 == 255 {
-					cell.Settle()
-				}
-			}
-			cell.Settle()
-			elapsed := time.Since(start)
-			anomalies, err := audit.Verify(cell)
+			var pending workload.TPCCOp
+			rate, p50, p99, anomalies, err := runMatrixCell(cell, ops,
+				func(i int) (string, []byte) {
+					pending = gen.Next()
+					args, _ := json.Marshal(pending)
+					return pending.Kind.String(), args
+				},
+				func(i int, accepted bool) {
+					if accepted || cell.Model() == tca.StatefulDataflow {
+						audit.Record(pending)
+					}
+				},
+				func() ([]string, error) { return audit.Verify(cell) },
+			)
 			if err != nil {
-				fmt.Fprintf(w, "%v\t%d\taudit error: %v\n", model, warehouses, err)
+				fmt.Fprintf(w, "%v\t%d\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, err)
 				cell.Close()
 				continue
 			}
+			fmt.Fprintf(w, "%v\t%d\t%d%%\t%.0f\t%v\t%v\t%d\n",
+				model, sweep.warehouses, sweep.remotePct, rate, p50, p99, anomalies)
+			rep.add("e17", fmt.Sprintf("%s/wh=%d/remote=%d%%", model, sweep.warehouses, sweep.remotePct),
+				map[string]float64{
+					"tx_s":       rate,
+					"sim_p50_us": float64(p50) / 1e3,
+					"sim_p99_us": float64(p99) / 1e3,
+					"anomalies":  float64(anomalies),
+				})
+			cell.Close()
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// runE18 prints the marketplace taxonomy matrix (supersedes E15): one
+// MarketApp under every programming model, audited for the
+// checkout/price write skew, plus the read-only path A/B on the two
+// cells whose query shortcut is largest.
+func runE18(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E18: marketplace matrix — carts/checkouts/queries/price updates, write-skew audit")
+	fmt.Fprintln(w, "model\tzipf\ttx/s\tsim-p50\tsim-p99\tanomalies")
+	for _, zipf := range []float64{1.1, 4.0} {
+		cfg := workload.DefaultMarketConfig()
+		cfg.ZipfS = zipf
+		for _, model := range allModels {
+			env := tca.NewEnv(1, 3)
+			cell, err := tca.Deploy(model, tca.MarketApp(), env)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%.1f\terror: %v\n", model, zipf, err)
+				continue
+			}
+			gen := workload.NewMarket(5, cfg)
+			audit := tca.NewMarketAuditor()
+			var pending workload.MarketOp
+			rate, p50, p99, anomalies, err := runMatrixCell(cell, ops,
+				func(i int) (string, []byte) {
+					pending = gen.Next()
+					args, _ := json.Marshal(pending)
+					return pending.Kind.String(), args
+				},
+				func(i int, accepted bool) {
+					if accepted || cell.Model() == tca.StatefulDataflow {
+						audit.Record(pending)
+					}
+				},
+				func() ([]string, error) { return audit.Verify(cell) },
+			)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%.1f\terror: %v\n", model, zipf, err)
+				cell.Close()
+				continue
+			}
+			fmt.Fprintf(w, "%v\t%.1f\t%.0f\t%v\t%v\t%d\n", model, zipf, rate, p50, p99, anomalies)
+			rep.add("e18", fmt.Sprintf("%s/zipf=%.1f", model, zipf), map[string]float64{
+				"tx_s":       rate,
+				"sim_p50_us": float64(p50) / 1e3,
+				"sim_p99_us": float64(p99) / 1e3,
+				"anomalies":  float64(anomalies),
+			})
+			cell.Close()
+		}
+	}
+	fmt.Fprintln(w, "read-only path A/B — pure query-product stream, hint honored vs stripped")
+	fmt.Fprintln(w, "model\tread-only\tquery/s\tsim-p50")
+	queryName := workload.MarketQueryProduct.String()
+	for _, model := range []tca.ProgrammingModel{tca.Actors, tca.Deterministic} {
+		for _, hint := range []bool{true, false} {
+			env := tca.NewEnv(1, 3)
+			op, _ := tca.MarketApp().Op(queryName)
+			op.ReadOnly = hint
+			cell, err := tca.Deploy(model, tca.NewApp("market-query").Register(op), env)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%v\terror: %v\n", model, hint, err)
+				continue
+			}
+			query := workload.MarketOp{Kind: workload.MarketQueryProduct, Product: 1}
+			args, _ := json.Marshal(query)
+			simHist := metrics.NewHistogram()
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				tr := fabric.NewTrace()
+				cell.Invoke(fmt.Sprintf("rp-%d", i), queryName, args, tr)
+				simHist.RecordDuration(tr.Total())
+			}
+			elapsed := time.Since(start)
 			snap := simHist.Snapshot()
-			fmt.Fprintf(w, "%v\t%d\t%.0f\t%v\t%v\t%d\n",
-				model, warehouses,
-				float64(ops)/elapsed.Seconds(),
-				time.Duration(snap.P50).Round(time.Microsecond),
-				time.Duration(snap.P99).Round(time.Microsecond),
-				len(anomalies))
+			rate := float64(ops) / elapsed.Seconds()
+			fmt.Fprintf(w, "%v\t%v\t%.0f\t%v\n",
+				model, hint, rate, time.Duration(snap.P50).Round(time.Microsecond))
+			rep.add("e18", fmt.Sprintf("readpath/%s/ro=%v", model, hint), map[string]float64{
+				"query_s":    rate,
+				"sim_p50_us": float64(snap.P50) / 1e3,
+			})
+			cell.Close()
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// runE19 prints the social-network matrix: compose-post fan-out whose
+// declared key set is the follower-timeline list, under every model, with
+// one read-timeline query per five ops. Commutative fan-out must audit
+// clean on every cell — this matrix shows cost curves, not anomalies.
+func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E19: social matrix — compose-post fan-out over follower timelines, exact delivery audit")
+	fmt.Fprintln(w, "model\tfanout\ttx/s\tsim-p50\tsim-p99\tanomalies")
+	const users = 64
+	for _, fanout := range []int{8, 24} {
+		for _, model := range allModels {
+			env := tca.NewEnv(1, 3)
+			// Partitions shards the deterministic cell so wide posts pay
+			// the cross-partition path; other models ignore it.
+			cell, err := tca.DeployWith(model, tca.SocialApp(), env, tca.Options{Partitions: 4})
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%d\terror: %v\n", model, fanout, err)
+				continue
+			}
+			gen := workload.NewSocial(9, users, fanout)
+			audit := tca.NewSocialAuditor()
+			var pending workload.SocialOp
+			var isQuery bool
+			rate, p50, p99, anomalies, err := runMatrixCell(cell, ops,
+				func(i int) (string, []byte) {
+					if isQuery = i%5 == 4; isQuery {
+						args, _ := json.Marshal(struct {
+							User int `json:"user"`
+						}{i % users})
+						return tca.SocialReadTimeline, args
+					}
+					pending = gen.Next()
+					args, _ := json.Marshal(pending)
+					return tca.SocialComposePost, args
+				},
+				func(i int, accepted bool) {
+					if !isQuery && (accepted || cell.Model() == tca.StatefulDataflow) {
+						audit.Record(pending)
+					}
+				},
+				func() ([]string, error) { return audit.Verify(cell) },
+			)
+			if err != nil {
+				fmt.Fprintf(w, "%v\t%d\terror: %v\n", model, fanout, err)
+				cell.Close()
+				continue
+			}
+			fmt.Fprintf(w, "%v\t%d\t%.0f\t%v\t%v\t%d\n", model, fanout, rate, p50, p99, anomalies)
+			rep.add("e19", fmt.Sprintf("%s/fanout=%d", model, fanout), map[string]float64{
+				"tx_s":       rate,
+				"sim_p50_us": float64(p50) / 1e3,
+				"sim_p99_us": float64(p99) / 1e3,
+				"anomalies":  float64(anomalies),
+			})
 			cell.Close()
 		}
 	}
@@ -261,7 +505,7 @@ func runE17(w *tabwriter.Writer, ops int) {
 }
 
 // runE10 prints the open-vs-closed-loop experiment.
-func runE10(w *tabwriter.Writer, ops int) {
+func runE10(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E10: open vs closed load models — service capacity 10k ops/s")
 	fmt.Fprintln(w, "driver\tthroughput\tp50\tp99")
 	service := workload.SpinService(1, 100*time.Microsecond)
@@ -285,6 +529,11 @@ func runE10(w *tabwriter.Writer, ops int) {
 			r.name, res.Throughput(),
 			time.Duration(res.Latency.P50).Round(time.Microsecond),
 			time.Duration(res.Latency.P99).Round(time.Microsecond))
+		rep.add("e10", r.name, map[string]float64{
+			"ops_s":  res.Throughput(),
+			"p50_us": float64(res.Latency.P50) / 1e3,
+			"p99_us": float64(res.Latency.P99) / 1e3,
+		})
 	}
 	fmt.Fprintln(w)
 }

@@ -1,11 +1,15 @@
 package actor
 
 import (
+	"errors"
 	"fmt"
 
 	"tca/internal/fabric"
 	"tca/internal/store"
 )
+
+// ErrReadOnlyTxn rejects writes inside a RunReadOnly transaction.
+var ErrReadOnlyTxn = errors.New("actor: write in read-only transaction")
 
 // Coordinator implements cross-actor ACID transactions in the style of the
 // Orleans Transactions API the paper surveys in §4.2: transactional state
@@ -39,6 +43,8 @@ type ActorTxn struct {
 	// participants are the distinct nodes hosting actors this transaction
 	// touched; each costs a prepare and a commit round trip.
 	participants map[fabric.NodeID]struct{}
+	// readOnly transactions reject writes and skip the commit protocol.
+	readOnly bool
 }
 
 // Read returns the transactional state of ref, acquiring a shared lock.
@@ -52,6 +58,9 @@ func (t *ActorTxn) Read(ref Ref) (store.Row, bool, error) {
 // Write replaces the transactional state of ref, acquiring an exclusive
 // lock that is held until commit or abort.
 func (t *ActorTxn) Write(ref Ref, state store.Row) error {
+	if t.readOnly {
+		return ErrReadOnlyTxn
+	}
 	if err := t.charge(ref); err != nil {
 		return err
 	}
@@ -123,6 +132,46 @@ func (c *Coordinator) Run(tr *fabric.Trace, fn func(t *ActorTxn) error) error {
 	}
 	c.sys.metrics.Counter("actor.txn_exhausted").Inc()
 	return fmt.Errorf("actor: transaction retries exhausted: %w", lastErr)
+}
+
+// RunReadOnly executes fn as a read-only transaction: reads acquire shared
+// locks under the same 2PL regime as Run (so the snapshot is serializable
+// against concurrent writers), but there is nothing to vote on, so the
+// prepare and commit rounds — two round trips per participant node — are
+// skipped entirely. This is the classic read-only optimization of
+// two-phase commit, and exactly the coordination a query saves.
+func (c *Coordinator) RunReadOnly(tr *fabric.Trace, fn func(t *ActorTxn) error) error {
+	coord, err := c.sys.cluster.PlaceAlive("txn-coordinator")
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		t := &ActorTxn{
+			sys:          c.sys,
+			tx:           c.sys.db.Begin(store.Locking2PL),
+			trace:        tr,
+			coord:        coord,
+			participants: make(map[fabric.NodeID]struct{}),
+			readOnly:     true,
+		}
+		err := fn(t)
+		// Abort releases the shared locks; a transaction with no writes
+		// has nothing else to undo.
+		t.tx.Abort()
+		if err != nil {
+			if store.IsRetryable(err) {
+				lastErr = err
+				c.sys.metrics.Counter("actor.txn_retries").Inc()
+				continue
+			}
+			return err
+		}
+		c.sys.metrics.Counter("actor.txn_readonly").Inc()
+		return nil
+	}
+	c.sys.metrics.Counter("actor.txn_exhausted").Inc()
+	return fmt.Errorf("actor: read-only transaction retries exhausted: %w", lastErr)
 }
 
 // ReadState reads an actor's transactional state outside any transaction

@@ -69,17 +69,21 @@ var (
 	ErrAborted    = errors.New("core: transaction aborted")
 	ErrNotRunning = errors.New("core: runtime not running")
 	ErrTimeout    = errors.New("core: result wait timeout")
+	ErrReadOnly   = errors.New("core: write in read-only transaction")
 )
 
 // Tx is the transactional context passed to functions. All state access is
 // restricted to the transaction's declared keys; writes buffer and apply
-// atomically at commit.
+// atomically at commit. Read-only transactions (SubmitReadOnly) run over a
+// consistent snapshot instead of live state and reject writes.
 type Tx struct {
 	rt     *Runtime
 	tid    int64
 	keys   map[string]struct{}
 	writes map[string][]byte
 	dels   map[string]struct{}
+	ro     bool
+	snap   map[string][]byte
 }
 
 // TID returns the transaction's global id. A single-partition transaction's
@@ -91,6 +95,13 @@ func (t *Tx) TID() int64 { return t.tid }
 func (t *Tx) Get(key string) ([]byte, bool, error) {
 	if _, ok := t.keys[key]; !ok {
 		return nil, false, fmt.Errorf("%w: %s", ErrUndeclared, key)
+	}
+	if t.ro {
+		v, ok := t.snap[key]
+		if !ok {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
 	}
 	if _, deleted := t.dels[key]; deleted {
 		return nil, false, nil
@@ -109,6 +120,9 @@ func (t *Tx) Get(key string) ([]byte, bool, error) {
 
 // Put buffers a write to a declared key.
 func (t *Tx) Put(key string, value []byte) error {
+	if t.ro {
+		return fmt.Errorf("%w: %s", ErrReadOnly, key)
+	}
 	if _, ok := t.keys[key]; !ok {
 		return fmt.Errorf("%w: %s", ErrUndeclared, key)
 	}
@@ -119,6 +133,9 @@ func (t *Tx) Put(key string, value []byte) error {
 
 // Del buffers a delete of a declared key.
 func (t *Tx) Del(key string) error {
+	if t.ro {
+		return fmt.Errorf("%w: %s", ErrReadOnly, key)
+	}
 	if _, ok := t.keys[key]; !ok {
 		return fmt.Errorf("%w: %s", ErrUndeclared, key)
 	}
@@ -809,6 +826,60 @@ func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabri
 	case <-timer.C:
 		return nil, ErrTimeout
 	}
+}
+
+// SubmitReadOnly executes a read-only transaction immediately against the
+// latest committed state: no input-log append, no scheduling, no
+// write-schedule slot consumed — queries never delay or conflict with the
+// write pipeline. The snapshot of the declared keys is cut atomically
+// under the state lock, which keeps it serializable: commits apply their
+// whole write set under that lock, and any two committed writers that
+// conflict with each other are chain-ordered (the later one applies its
+// state strictly after the earlier one's apply completes), so a cut that
+// includes the later writer always includes the earlier — the read fits
+// into the conflict graph without a cycle. Writers that do not conflict
+// commute around the read. Reads are naturally idempotent, so there is no
+// result caching; reqID is accepted for interface symmetry with Submit.
+func (r *Runtime) SubmitReadOnly(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	_ = reqID
+	r.runMu.Lock()
+	running := r.running
+	r.runMu.Unlock()
+	if !running {
+		return nil, ErrNotRunning
+	}
+	r.fnMu.RLock()
+	body, ok := r.fns[fn]
+	r.fnMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFunction, fn)
+	}
+	r.chargeHop(tr) // client -> owning node
+	tx := &Tx{
+		rt:   r,
+		tid:  -1,
+		keys: make(map[string]struct{}, len(keys)),
+		ro:   true,
+		snap: make(map[string][]byte, len(keys)),
+	}
+	for _, k := range keys {
+		tx.keys[k] = struct{}{}
+	}
+	r.stateMu.Lock()
+	for _, k := range keys {
+		if v, ok := r.state[k]; ok {
+			tx.snap[k] = append([]byte(nil), v...)
+		}
+	}
+	r.stateMu.Unlock()
+	value, err := body(tx, args)
+	r.chargeHop(tr) // result -> client
+	if err != nil {
+		r.m.Counter("core.readonly_aborts").Inc()
+		return nil, fmt.Errorf("%w: %s", ErrAborted, err.Error())
+	}
+	r.m.Counter("core.readonly").Inc()
+	return value, nil
 }
 
 // chargeHop prices one cross-node message on the fabric, when configured.

@@ -104,7 +104,18 @@ type TPCCConfig struct {
 	// NewOrderFrac is the fraction of NewOrder ops (standard mix: ~0.51
 	// of all, but of this 2-txn subset ≈ 0.52/0.95).
 	NewOrderFrac float64
+	// RemoteFrac, when set, pins the fraction of transactions that touch
+	// a remote warehouse (TPCCOp.Remote) — the distributed-transaction
+	// trigger — for both transaction kinds; point it at 0 to disable
+	// cross-warehouse traffic entirely. Nil (the zero value) keeps the
+	// standard mix (10% of NewOrders, 15% of Payments). E17 sweeps this
+	// knob to tie the app-level matrix to E16's cross-partition scaling
+	// curve.
+	RemoteFrac *float64
 }
+
+// RemoteFrac boxes a cross-warehouse rate for TPCCConfig.RemoteFrac.
+func RemoteFrac(f float64) *float64 { return &f }
 
 // DefaultTPCCConfig returns a laptop-scale configuration.
 func DefaultTPCCConfig(warehouses int) TPCCConfig {
@@ -150,6 +161,16 @@ func (g *TPCCGen) Next() TPCCOp {
 		District:  g.rng.Intn(g.cfg.Districts),
 		Customer:  g.rng.Intn(g.cfg.Customers),
 	}
+	// remoteFrac resolves the cross-warehouse probability: the standard
+	// per-kind rate unless the config pins one. The random draw is made
+	// either way, so sweeping RemoteFrac never perturbs the rest of the
+	// seeded stream — only the Remote bit changes.
+	remoteFrac := func(std float64) float64 {
+		if g.cfg.RemoteFrac != nil {
+			return *g.cfg.RemoteFrac
+		}
+		return std
+	}
 	if g.rng.Float64() < g.cfg.NewOrderFrac {
 		op.Kind = TPCCNewOrder
 		n := 5 + g.rng.Intn(11) // 5..15 order lines, per the standard
@@ -157,18 +178,24 @@ func (g *TPCCGen) Next() TPCCOp {
 		for i := range op.Items {
 			op.Items[i] = TPCCItem{ItemID: g.rng.Intn(g.cfg.Items), Qty: 1 + g.rng.Intn(10)}
 		}
-		op.Remote = g.cfg.Warehouses > 1 && g.rng.Float64() < 0.10
+		op.Remote = g.cfg.Warehouses > 1 && g.rng.Float64() < remoteFrac(0.10)
 	} else {
 		op.Kind = TPCCPayment
 		op.Amount = int64(1 + g.rng.Intn(5000))
-		op.Remote = g.cfg.Warehouses > 1 && g.rng.Float64() < 0.15
+		op.Remote = g.cfg.Warehouses > 1 && g.rng.Float64() < remoteFrac(0.15)
 	}
-	if op.Remote {
+	// The remote-warehouse candidate is drawn unconditionally so the rng
+	// consumption per op is fixed: sweeping RemoteFrac flips only the
+	// Remote bit and the rest of the seeded stream stays identical —
+	// E17's sweep compares the same transactions at different rates.
+	if g.cfg.Warehouses > 1 {
 		w := g.rng.Intn(g.cfg.Warehouses - 1)
 		if w >= op.Warehouse {
 			w++
 		}
-		op.RemoteWarehouse = w
+		if op.Remote {
+			op.RemoteWarehouse = w
+		}
 	}
 	return op
 }
@@ -253,7 +280,10 @@ type MarketOp struct {
 type MarketConfig struct {
 	Users    int
 	Products int
-	// Mix fractions; must sum to <= 1, remainder goes to queries.
+	// Mix fractions; the remainder goes to queries. NewMarket clamps
+	// negative fractions to zero and, when the three sum past 1,
+	// normalizes them proportionally — so checkout/price traffic is never
+	// silently eaten by an over-full cart fraction.
 	CartFrac     float64
 	CheckoutFrac float64
 	PriceFrac    float64
@@ -293,6 +323,26 @@ func NewMarket(seed int64, cfg MarketConfig) *MarketGen {
 		// mildest legal skew rather than fail. Documented on MarketConfig.
 		cfg.ZipfS = 1.1
 	}
+	// Validate the mix the same way the ZipfS clamp does: repair instead of
+	// fail. Negative fractions are zeroed; fractions summing past 1 are
+	// scaled down proportionally so every class keeps its relative share
+	// (previously a cart fraction past 1 silently ate all checkout and
+	// price traffic — Next draws one uniform variate against cumulative
+	// thresholds).
+	if cfg.CartFrac < 0 {
+		cfg.CartFrac = 0
+	}
+	if cfg.CheckoutFrac < 0 {
+		cfg.CheckoutFrac = 0
+	}
+	if cfg.PriceFrac < 0 {
+		cfg.PriceFrac = 0
+	}
+	if sum := cfg.CartFrac + cfg.CheckoutFrac + cfg.PriceFrac; sum > 1 {
+		cfg.CartFrac /= sum
+		cfg.CheckoutFrac /= sum
+		cfg.PriceFrac /= sum
+	}
 	rng := rand.New(rand.NewSource(seed))
 	return &MarketGen{
 		rng:  rng,
@@ -300,6 +350,10 @@ func NewMarket(seed int64, cfg MarketConfig) *MarketGen {
 		cfg:  cfg,
 	}
 }
+
+// Config returns the generator's effective configuration (after clamping
+// and mix normalization) — what the stream actually draws from.
+func (g *MarketGen) Config() MarketConfig { return g.cfg }
 
 // Next returns the next request.
 func (g *MarketGen) Next() MarketOp {
@@ -321,6 +375,30 @@ func (g *MarketGen) Next() MarketOp {
 		op.Kind = MarketQueryProduct
 	}
 	return op
+}
+
+// CartKey / PriceKey / MarketStockKey / OrderKey name the state keys a
+// marketplace op touches, shared by the MarketApp bodies and auditor so
+// every cell hits identical key sets.
+func CartKey(user int) string           { return fmt.Sprintf("cart/%d", user) }
+func PriceKey(product int) string       { return fmt.Sprintf("price/%d", product) }
+func MarketStockKey(product int) string { return fmt.Sprintf("mstock/%d", product) }
+func OrderKey(user int) string          { return fmt.Sprintf("order/%d", user) }
+
+// Keys returns every state key the op touches (its declared key set):
+// queries read the product pair, checkouts span the cart, the product and
+// the buyer's order ledger — the multi-key write-skew surface.
+func (op MarketOp) Keys() []string {
+	switch op.Kind {
+	case MarketAddToCart:
+		return []string{CartKey(op.User)}
+	case MarketCheckout:
+		return []string{CartKey(op.User), PriceKey(op.Product), MarketStockKey(op.Product), OrderKey(op.User)}
+	case MarketQueryProduct:
+		return []string{PriceKey(op.Product), MarketStockKey(op.Product)}
+	default: // MarketUpdatePrice
+		return []string{PriceKey(op.Product)}
+	}
 }
 
 // --- social network -----------------------------------------------------------
@@ -380,3 +458,25 @@ func (g *SocialGen) Next() SocialOp {
 
 // FollowerCount returns user u's follower count (graph inspection).
 func (g *SocialGen) FollowerCount(u int) int { return len(g.followers[u]) }
+
+// Users returns the size of the follower graph.
+func (g *SocialGen) Users() int { return len(g.followers) }
+
+// PostsKey / TimelineKey name the state keys a compose-post touches,
+// shared by the SocialApp bodies and auditor.
+func PostsKey(user int) string    { return fmt.Sprintf("posts/%d", user) }
+func TimelineKey(user int) string { return fmt.Sprintf("timeline/%d", user) }
+
+// Keys returns every state key the compose-post touches: the author's
+// post log plus one timeline per follower. The key set's width IS the
+// fan-out — on the statefun cell each key costs a read send (bounded per
+// invocation), and on the partitioned core it spreads the transaction
+// across partitions.
+func (op SocialOp) Keys() []string {
+	keys := make([]string, 0, len(op.Followers)+1)
+	keys = append(keys, PostsKey(op.Author))
+	for _, f := range op.Followers {
+		keys = append(keys, TimelineKey(f))
+	}
+	return keys
+}

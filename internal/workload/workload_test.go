@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -132,6 +133,126 @@ func TestMarketZipfSkew(t *testing.T) {
 	}
 	if max < n/20 {
 		t.Fatalf("hottest product got %d of %d; zipf skew missing", max, n)
+	}
+}
+
+func TestMarketMixNormalized(t *testing.T) {
+	// Fractions summing past 1 used to silently eat checkout and price
+	// traffic (cumulative thresholds against one uniform draw). NewMarket
+	// now normalizes proportionally, mirroring the ZipfS clamp.
+	g := NewMarket(9, MarketConfig{
+		Users: 10, Products: 10,
+		CartFrac: 1.2, CheckoutFrac: 0.6, PriceFrac: 0.6, // sums to 2.4
+		ZipfS: 1.1,
+	})
+	cfg := g.Config()
+	if sum := cfg.CartFrac + cfg.CheckoutFrac + cfg.PriceFrac; sum > 1.0000001 {
+		t.Fatalf("normalized mix sums to %.3f, want <= 1", sum)
+	}
+	if cfg.CartFrac/cfg.CheckoutFrac < 1.9 || cfg.CartFrac/cfg.CheckoutFrac > 2.1 {
+		t.Fatalf("relative shares not preserved: cart=%.3f checkout=%.3f", cfg.CartFrac, cfg.CheckoutFrac)
+	}
+	counts := map[MarketKind]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	// 0.6/2.4 = 25% checkouts and 25% price updates must survive.
+	if f := float64(counts[MarketCheckout]) / n; f < 0.20 || f > 0.30 {
+		t.Fatalf("checkout fraction = %.2f, want ~0.25 after normalization", f)
+	}
+	if f := float64(counts[MarketUpdatePrice]) / n; f < 0.20 || f > 0.30 {
+		t.Fatalf("price fraction = %.2f, want ~0.25 after normalization", f)
+	}
+	if counts[MarketQueryProduct] != 0 {
+		t.Fatalf("full mix left %d queries, want 0", counts[MarketQueryProduct])
+	}
+}
+
+func TestMarketMixClampsNegative(t *testing.T) {
+	g := NewMarket(3, MarketConfig{
+		Users: 10, Products: 10,
+		CartFrac: -0.5, CheckoutFrac: 0.5, PriceFrac: 0, ZipfS: 1.1,
+	})
+	if cfg := g.Config(); cfg.CartFrac != 0 {
+		t.Fatalf("negative cart fraction kept: %.2f", cfg.CartFrac)
+	}
+	for i := 0; i < 500; i++ {
+		if g.Next().Kind == MarketAddToCart {
+			t.Fatal("cart op drawn from a zeroed cart fraction")
+		}
+	}
+}
+
+func TestTPCCRemoteFracSweep(t *testing.T) {
+	// RemoteFrac pins the cross-warehouse rate for both transaction kinds.
+	for _, tc := range []struct {
+		frac     float64
+		min, max float64
+	}{
+		{0, 0, 0},
+		{0.10, 0.06, 0.14},
+		{0.50, 0.44, 0.56},
+		{1, 1, 1},
+	} {
+		cfg := DefaultTPCCConfig(4)
+		cfg.RemoteFrac = RemoteFrac(tc.frac)
+		g := NewTPCC(17, cfg)
+		remote := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			if g.Next().Remote {
+				remote++
+			}
+		}
+		if f := float64(remote) / n; f < tc.min || f > tc.max {
+			t.Fatalf("RemoteFrac=%.2f: observed %.3f, want in [%.2f, %.2f]", tc.frac, f, tc.min, tc.max)
+		}
+	}
+}
+
+func TestTPCCRemoteFracDoesNotPerturbStream(t *testing.T) {
+	// Sweeping the remote rate must change only the Remote bit: every other
+	// field of the seeded stream stays identical, so E17's sweep compares
+	// the same transactions.
+	std, all := DefaultTPCCConfig(4), DefaultTPCCConfig(4)
+	all.RemoteFrac = RemoteFrac(1)
+	a, b := NewTPCC(23, std), NewTPCC(23, all)
+	for i := 0; i < 500; i++ {
+		x, y := a.Next(), b.Next()
+		x.Remote, x.RemoteWarehouse = false, 0
+		y.Remote, y.RemoteWarehouse = false, 0
+		if fmt.Sprint(x) != fmt.Sprint(y) {
+			t.Fatalf("stream diverged at %d:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+func TestMarketKeysDeclared(t *testing.T) {
+	g := NewMarket(5, DefaultMarketConfig())
+	for i := 0; i < 300; i++ {
+		op := g.Next()
+		keys := op.Keys()
+		if len(keys) == 0 {
+			t.Fatalf("empty key set for %v", op.Kind)
+		}
+		if op.Kind == MarketCheckout && len(keys) != 4 {
+			t.Fatalf("checkout declares %d keys, want 4 (cart, price, stock, order)", len(keys))
+		}
+	}
+}
+
+func TestSocialKeysAreFollowerTimelines(t *testing.T) {
+	g := NewSocial(4, 50, 12)
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		keys := op.Keys()
+		if len(keys) != len(op.Followers)+1 {
+			t.Fatalf("key set %d, want followers+posts = %d", len(keys), len(op.Followers)+1)
+		}
+		if keys[0] != PostsKey(op.Author) {
+			t.Fatalf("first key %s, want %s", keys[0], PostsKey(op.Author))
+		}
 	}
 }
 

@@ -1,0 +1,226 @@
+package tca
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"tca/internal/workload"
+)
+
+// The Online Marketplace benchmark (§5.3, ref [38]) as a first-class App:
+// carts, checkouts, product queries, and price updates from one seeded
+// workload.MarketGen stream, deployable under all five programming models.
+// This retires the hand-rolled per-model marketplace adapters the old E15
+// carried — the workload is now ~100 lines of App, like TPC-C.
+//
+// State encoding (all values EncodeInt int64):
+//
+//	cart/U     items in user U's cart (adds accumulate, checkout removes)
+//	price/P    product P's current price (starts at marketInitialPrice)
+//	mstock/P   product P's stock (starts at marketInitialStock on first touch)
+//	order/U    user U's lifetime spend ledger (checkout adds items × price)
+//
+// Cart and order mutations are commutative Adds, so they stay exact even
+// on the eventual cells. The checkout is the anomaly surface: it reads the
+// cart, the price, and the stock, then writes stock and the order ledger.
+// Under a concurrent price update, a cell without isolation can charge a
+// price that was never current at any serialization point of the checkout
+// — the write-skew between checkouts and price updates that MarketAuditor
+// detects as order-ledger drift from the serial reference. query-product
+// is declared ReadOnly: every cell answers it without write machinery.
+
+// marketInitialPrice and marketInitialStock are the implicit state of an
+// untouched product; marketRestock/marketRestockFloor mirror the TPC-C
+// replenishment rule so stock stays non-negative in the serial order.
+const (
+	marketInitialPrice = 100
+	marketInitialStock = 1000
+	marketRestock      = 900
+	marketRestockFloor = 10
+)
+
+// ErrEmptyCart rejects a checkout with nothing in the cart — a business
+// failure, aborted before any write on every cell.
+var ErrEmptyCart = errors.New("tca: checkout with empty cart")
+
+// marketQueryResult is query-product's wire result.
+type marketQueryResult struct {
+	Price int64 `json:"price"`
+	Stock int64 `json:"stock"`
+}
+
+// MarketApp builds the marketplace as a model-agnostic App. Op arguments
+// are JSON-encoded workload.MarketOp descriptors, so any seeded
+// workload.MarketGen stream drives any cell.
+func MarketApp() *App {
+	app := NewApp("market")
+	keys := func(args []byte) []string {
+		var op workload.MarketOp
+		json.Unmarshal(args, &op)
+		return op.Keys()
+	}
+	app.Register(Op{Name: workload.MarketAddToCart.String(), Keys: keys, Body: marketAddToCart})
+	app.Register(Op{Name: workload.MarketCheckout.String(), Keys: keys, Body: marketCheckout})
+	app.Register(Op{Name: workload.MarketQueryProduct.String(), Keys: keys, ReadOnly: true, Body: marketQueryProduct})
+	app.Register(Op{Name: workload.MarketUpdatePrice.String(), Keys: keys, Body: marketUpdatePrice})
+	return app
+}
+
+// marketOpName maps a generated op to its registered op name.
+func marketOpName(op workload.MarketOp) string { return op.Kind.String() }
+
+// marketAddToCart drops qty items into the user's cart — a pure
+// commutative delta, exact on every cell.
+func marketAddToCart(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	return nil, tx.Add(workload.CartKey(op.User), int64(op.Qty))
+}
+
+// marketPrice reads a product's current price, defaulting untouched
+// products to the initial price.
+func marketPrice(tx Txn, product int) (int64, error) {
+	raw, found, err := tx.Get(workload.PriceKey(product))
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return marketInitialPrice, nil
+	}
+	return DecodeInt(raw), nil
+}
+
+// marketCheckout purchases the cart's items at the product's current
+// price: an honest read-modify-write across four keys. The price and cart
+// reads are exactly as fresh as the cell's isolation — which is the point.
+func marketCheckout(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	raw, _, err := tx.Get(workload.CartKey(op.User))
+	if err != nil {
+		return nil, err
+	}
+	items := DecodeInt(raw)
+	if items <= 0 {
+		return nil, ErrEmptyCart
+	}
+	price, err := marketPrice(tx, op.Product)
+	if err != nil {
+		return nil, err
+	}
+	stockKey := workload.MarketStockKey(op.Product)
+	raw, found, err := tx.Get(stockKey)
+	if err != nil {
+		return nil, err
+	}
+	stock := int64(marketInitialStock)
+	if found {
+		stock = DecodeInt(raw)
+	}
+	for stock-items < marketRestockFloor {
+		stock += marketRestock
+	}
+	stock -= items
+	if err := tx.Put(stockKey, EncodeInt(stock)); err != nil {
+		return nil, err
+	}
+	if err := tx.Add(workload.OrderKey(op.User), items*price); err != nil {
+		return nil, err
+	}
+	// Remove exactly what was bought (commutative): a concurrent
+	// add-to-cart is preserved rather than clobbered.
+	return EncodeInt(items * price), tx.Add(workload.CartKey(op.User), -items)
+}
+
+// marketQueryProduct is the read-only op: price and stock from one
+// consistent view, no writes — the path every cell answers without its
+// write machinery.
+func marketQueryProduct(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	price, err := marketPrice(tx, op.Product)
+	if err != nil {
+		return nil, err
+	}
+	raw, found, err := tx.Get(workload.MarketStockKey(op.Product))
+	if err != nil {
+		return nil, err
+	}
+	stock := int64(marketInitialStock)
+	if found {
+		stock = DecodeInt(raw)
+	}
+	out, _ := json.Marshal(marketQueryResult{Price: price, Stock: stock})
+	return out, nil
+}
+
+// marketUpdatePrice repositions a product — the blind write that, raced
+// against a checkout's price read, produces the write-skew E18 measures.
+func marketUpdatePrice(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	return nil, tx.Put(workload.PriceKey(op.Product), EncodeInt(op.Price))
+}
+
+// MarketAuditor replays the accepted marketplace ops on a serial reference
+// (the very same bodies over a plain map) and verifies a cell against it.
+// Divergence on an order ledger means a checkout charged a price or cart
+// that was never current at its serialization point — the write-skew
+// between concurrent checkouts and price updates; divergence elsewhere
+// (stock, carts) is a lost or doubled update. Isolated cells must report
+// zero.
+type MarketAuditor struct {
+	app   *App
+	state mapTxn
+}
+
+// NewMarketAuditor creates an empty auditor.
+func NewMarketAuditor() *MarketAuditor {
+	return &MarketAuditor{app: MarketApp(), state: make(mapTxn)}
+}
+
+// Record replays one accepted op on the serial reference. Queries are
+// no-ops by construction and skipped.
+func (a *MarketAuditor) Record(op workload.MarketOp) {
+	if op.Kind == workload.MarketQueryProduct {
+		return
+	}
+	args, _ := json.Marshal(op)
+	registered, _ := a.app.Op(marketOpName(op))
+	registered.Body(a.state, args)
+}
+
+// Verify settles the cell and returns one description per violation
+// (empty = the cell matches the serial outcome on every key).
+func (a *MarketAuditor) Verify(c Cell) ([]string, error) {
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	var anomalies []string
+	for _, key := range sortedKeys(a.state) {
+		raw, _, err := c.Read(key)
+		if err != nil {
+			return anomalies, err
+		}
+		got, want := DecodeInt(raw), DecodeInt(a.state[key])
+		if got == want {
+			continue
+		}
+		if len(key) > 6 && key[:6] == "order/" {
+			anomalies = append(anomalies,
+				fmt.Sprintf("%s: charged %d, serial reference %d (checkout/price write skew)", key, got, want))
+			continue
+		}
+		anomalies = append(anomalies, fmt.Sprintf("%s: %d, serial reference %d", key, got, want))
+	}
+	return anomalies, nil
+}

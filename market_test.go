@@ -1,0 +1,168 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tca/internal/fabric"
+	"tca/internal/workload"
+)
+
+// Cross-model property tests for the two new first-class workloads: the
+// identical seeded stream must deploy under all five cells, and — when
+// each op settles before the next — match the serial reference exactly.
+
+func TestMarketCrossModelAudit(t *testing.T) {
+	cfg := workload.MarketConfig{
+		Users: 8, Products: 6,
+		CartFrac: 0.45, CheckoutFrac: 0.20, PriceFrac: 0.10, // 25% queries
+		ZipfS: 1.2,
+	}
+	const ops = 150
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			env := NewEnv(1, 3)
+			cell, err := Deploy(model, MarketApp(), env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cell.Close()
+			gen := workload.NewMarket(42, cfg)
+			audit := NewMarketAuditor()
+			queries, checkouts := 0, 0
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				_, err := cell.Invoke(fmt.Sprintf("m%d", i), marketOpName(op), args, nil)
+				// The eventual cell acknowledges acceptance; settling per op
+				// serializes it, and the serial reference replays the same
+				// body (including its empty-cart abort) — so recording on
+				// acceptance stays consistent.
+				if model == StatefulDataflow {
+					if err := cell.Settle(); err != nil {
+						t.Fatal(err)
+					}
+					audit.Record(op)
+				} else if err == nil {
+					audit.Record(op)
+				} else if op.Kind != workload.MarketCheckout {
+					// Only checkouts may fail in business terms (empty
+					// cart; cells wrap the error in their own types).
+					t.Fatalf("op %d (%s): %v", i, marketOpName(op), err)
+				}
+				switch op.Kind {
+				case workload.MarketQueryProduct:
+					queries++
+				case workload.MarketCheckout:
+					checkouts++
+				}
+			}
+			if queries == 0 || checkouts == 0 {
+				t.Fatalf("degenerate mix: %d queries, %d checkouts", queries, checkouts)
+			}
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range anomalies {
+				t.Errorf("anomaly: %s", a)
+			}
+		})
+	}
+}
+
+func TestSocialCrossModelFanout(t *testing.T) {
+	const ops = 60
+	gen0 := workload.NewSocial(7, 16, 8)
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			env := NewEnv(2, 3)
+			cell, err := Deploy(model, SocialApp(), env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cell.Close()
+			// Fresh generator per cell: same seed, same follower graph,
+			// same post stream.
+			gen := workload.NewSocial(7, 16, 8)
+			audit := NewSocialAuditor()
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				if _, err := cell.Invoke(fmt.Sprintf("p%d", i), SocialComposePost, args, nil); err != nil {
+					t.Fatalf("compose-post %d (fan-out %d): %v", i, len(op.Followers), err)
+				}
+				audit.Record(op)
+				if model == StatefulDataflow {
+					if err := cell.Settle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range anomalies {
+				t.Errorf("lost/duplicated delivery: %s", a)
+			}
+			// The read-only timeline query agrees with the reference on the
+			// synchronous cells.
+			if model != StatefulDataflow {
+				for u := 0; u < gen0.Users(); u++ {
+					args, _ := json.Marshal(socialTimelineArgs{User: u})
+					res, err := cell.Invoke(fmt.Sprintf("rt%d", u), SocialReadTimeline, args, nil)
+					if err != nil {
+						t.Fatalf("read-timeline %d: %v", u, err)
+					}
+					want := DecodeInt(audit.state[workload.TimelineKey(u)])
+					if got := DecodeInt(res); got != want {
+						t.Errorf("timeline/%d = %d, want %d", u, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMarketAuditorDetectsWriteSkew pins the auditor itself: a checkout
+// that charged a stale price (simulated directly on a cell-free reference
+// pair) must be reported as order-ledger drift.
+func TestMarketAuditorDetectsWriteSkew(t *testing.T) {
+	audit := NewMarketAuditor()
+	// The reference sees: price -> 300, cart +2, checkout at 300.
+	audit.Record(workload.MarketOp{Kind: workload.MarketUpdatePrice, Product: 1, Price: 300})
+	audit.Record(workload.MarketOp{Kind: workload.MarketAddToCart, User: 0, Product: 1, Qty: 2})
+	audit.Record(workload.MarketOp{Kind: workload.MarketCheckout, User: 0, Product: 1})
+	// A fake cell whose checkout ran before the price update landed: it
+	// charged the initial price instead.
+	skewed := make(mapTxn)
+	for k, v := range audit.state {
+		skewed[k] = v
+	}
+	skewed[workload.OrderKey(0)] = EncodeInt(2 * marketInitialPrice)
+	anomalies, err := audit.Verify(&mapCell{state: skewed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %v, want exactly the order-ledger drift", anomalies)
+	}
+}
+
+// mapCell is a minimal read-only Cell over a state map, for auditor tests.
+type mapCell struct{ state mapTxn }
+
+func (c *mapCell) Model() ProgrammingModel { return Deterministic }
+func (c *mapCell) Guarantee() Guarantee    { return Guarantee{} }
+func (c *mapCell) App() *App               { return nil }
+func (c *mapCell) Invoke(string, string, []byte, *fabric.Trace) ([]byte, error) {
+	return nil, fmt.Errorf("mapCell: not invokable")
+}
+func (c *mapCell) Read(key string) ([]byte, bool, error) {
+	v, ok := c.state[key]
+	return v, ok, nil
+}
+func (c *mapCell) Settle() error { return nil }
+func (c *mapCell) Close()        {}

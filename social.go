@@ -1,0 +1,140 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tca/internal/workload"
+)
+
+// The DeathStarBench-style social network (§5.3, ref [27]) as a
+// first-class App: compose-post is the hot path, and its declared key set
+// IS the author's follower list — one timeline key per follower, plus the
+// author's post log. That makes the workload a direct stress test of the
+// wide-transaction machinery in every cell: the statefun choreography
+// spends one read send per key (bounded per invocation by the runtime's
+// 32-send cap, so celebrity fan-outs approach the cell's honest limit),
+// and on the partitioned core a single post spans many partitions — the
+// multi-partition scheduling E16 measures, driven by a real workload.
+//
+// State encoding (all values EncodeInt int64):
+//
+//	posts/U     posts authored by U
+//	timeline/U  posts delivered to U's timeline
+//
+// Both are commutative Adds, so every cell keeps them exact — the social
+// matrix (E19) shows the taxonomy's costs, not its anomalies: the same
+// fan-out costs 2 hops on the core and ~2 messages per follower on the
+// dataflow cell. read-timeline is declared ReadOnly.
+
+// Social op names (SocialOp carries no kind: the generator only produces
+// compose-posts; read-timeline is driven by the benchmarks directly).
+const (
+	SocialComposePost  = "compose-post"
+	SocialReadTimeline = "read-timeline"
+)
+
+// socialTimelineArgs is read-timeline's wire argument.
+type socialTimelineArgs struct {
+	User int `json:"user"`
+}
+
+// SocialApp builds the social network as a model-agnostic App.
+// compose-post arguments are JSON-encoded workload.SocialOp descriptors —
+// the follower list rides in the descriptor, Calvin-style reconnaissance
+// done by the workload layer.
+func SocialApp() *App {
+	app := NewApp("social")
+	app.Register(Op{
+		Name: SocialComposePost,
+		Keys: func(args []byte) []string {
+			var op workload.SocialOp
+			json.Unmarshal(args, &op)
+			return op.Keys()
+		},
+		Body: socialComposePost,
+	})
+	app.Register(Op{
+		Name:     SocialReadTimeline,
+		ReadOnly: true,
+		Keys: func(args []byte) []string {
+			var a socialTimelineArgs
+			json.Unmarshal(args, &a)
+			return []string{workload.TimelineKey(a.User)}
+		},
+		Body: socialReadTimeline,
+	})
+	return app
+}
+
+// socialComposePost appends one post and fans it out to every follower's
+// timeline — pure commutative deltas over the declared key set.
+func socialComposePost(tx Txn, args []byte) ([]byte, error) {
+	var op workload.SocialOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	if err := tx.Add(workload.PostsKey(op.Author), 1); err != nil {
+		return nil, err
+	}
+	for _, f := range op.Followers {
+		if err := tx.Add(workload.TimelineKey(f), 1); err != nil {
+			return nil, err
+		}
+	}
+	return EncodeInt(int64(len(op.Followers))), nil
+}
+
+// socialReadTimeline returns the number of posts on a user's timeline —
+// the read-only op every cell answers without write machinery.
+func socialReadTimeline(tx Txn, args []byte) ([]byte, error) {
+	var a socialTimelineArgs
+	if err := json.Unmarshal(args, &a); err != nil {
+		return nil, err
+	}
+	raw, _, err := tx.Get(workload.TimelineKey(a.User))
+	if err != nil {
+		return nil, err
+	}
+	return EncodeInt(DecodeInt(raw)), nil
+}
+
+// SocialAuditor replays accepted compose-posts on a serial reference and
+// verifies a cell's post logs and timelines against it. Fan-out is purely
+// commutative, so every cell — even the eventual ones — must match: a
+// mismatch here means lost or duplicated delivery, not missing isolation.
+type SocialAuditor struct {
+	app   *App
+	state mapTxn
+}
+
+// NewSocialAuditor creates an empty auditor.
+func NewSocialAuditor() *SocialAuditor {
+	return &SocialAuditor{app: SocialApp(), state: make(mapTxn)}
+}
+
+// Record replays one accepted compose-post on the serial reference.
+func (a *SocialAuditor) Record(op workload.SocialOp) {
+	args, _ := json.Marshal(op)
+	registered, _ := a.app.Op(SocialComposePost)
+	registered.Body(a.state, args)
+}
+
+// Verify settles the cell and returns one description per lost or
+// duplicated timeline delivery (empty = exact fan-out everywhere).
+func (a *SocialAuditor) Verify(c Cell) ([]string, error) {
+	if err := c.Settle(); err != nil {
+		return nil, err
+	}
+	var anomalies []string
+	for _, key := range sortedKeys(a.state) {
+		raw, _, err := c.Read(key)
+		if err != nil {
+			return anomalies, err
+		}
+		if got, want := DecodeInt(raw), DecodeInt(a.state[key]); got != want {
+			anomalies = append(anomalies, fmt.Sprintf("%s: %d deliveries, serial reference %d", key, got, want))
+		}
+	}
+	return anomalies, nil
+}

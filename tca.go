@@ -24,6 +24,10 @@
 //   - An App (NewApp + Register) is a model-agnostic set of named Ops.
 //     Each Op declares the key set it touches and a deterministic Body
 //     over the uniform Txn surface — Get, Put, and the commutative Add.
+//     An Op may declare itself ReadOnly: every cell then answers it
+//     without its write machinery (no saga staging, shared locks with no
+//     2PC, no buffered-write commit, no write-emit choreography round,
+//     no write-schedule slot) and rejects writes from its body.
 //   - Deploy(model, app, env) instantiates the App under one taxonomy
 //     cell and returns a Cell: Invoke runs an op with the cell's honest
 //     semantics (a saga, an actor transaction, an entity critical
@@ -31,11 +35,16 @@
 //     log-ordered transaction), Read audits settled state, and Guarantee
 //     reports what the cell really promises.
 //
-// Two applications ship as App constructors: BankApp (the literature's
-// running example; the Bank interface wraps it for compatibility) and
-// TPCCApp (the TPC-C NewOrder/Payment subset, with TPCCAuditor checking
-// cross-model integrity constraints). Writing another workload is a
-// ~100-line App, not a per-model fork.
+// Four applications ship as App constructors: BankApp (the literature's
+// running example; the Bank interface wraps it for compatibility),
+// TPCCApp (the TPC-C NewOrder/Payment subset), MarketApp (the Online
+// Marketplace mix: carts, write-skew-prone checkouts, read-only product
+// queries, price updates) and SocialApp (DeathStarBench-style
+// compose-post whose declared key set is the follower-timeline list).
+// Each ships a cross-model auditor (TPCCAuditor, MarketAuditor,
+// SocialAuditor) that replays the op stream on a serial reference and
+// reports every divergence. Writing another workload is a ~100-line App,
+// not a per-model fork.
 //
 // Construct a cell with Deploy (or NewBank for the wrapped bank) and
 // drive it with the workload generators in internal/workload; the bench
