@@ -41,6 +41,14 @@ type Txn interface {
 	// it as an exactly-once delta message instead of a read-modify-write —
 	// which is what keeps them conserving totals under concurrency.
 	Add(key string, delta int64) error
+	// PushCap inserts id into the EncodeIntList-encoded bounded id list at
+	// key, keeping only the cap largest ids (newest-first for monotonically
+	// assigned ids). The retained set is the cap largest of every id ever
+	// pushed, so PushCap commutes and is idempotent per id: eventual cells
+	// apply it as an exactly-once merge message instead of a
+	// read-modify-write — the list analogue of Add, and what keeps bounded
+	// timelines exact under concurrency.
+	PushCap(key string, id int64, cap int) error
 }
 
 // EncodeInt is the canonical numeric value encoding of the App layer
@@ -60,6 +68,56 @@ func DecodeInt(raw []byte) int64 {
 	return v
 }
 
+// EncodeIntList is the canonical list encoding of the App layer: a JSON
+// array of int64, sorted descending (newest-first for monotonically
+// assigned ids). Txn.PushCap maintains it; bodies should use it for
+// list-valued keys such as timelines and post logs.
+func EncodeIntList(vs []int64) []byte {
+	if vs == nil {
+		vs = []int64{}
+	}
+	raw, _ := json.Marshal(vs)
+	return raw
+}
+
+// DecodeIntList decodes an EncodeIntList value; nil or garbage decodes to
+// an empty list.
+func DecodeIntList(raw []byte) []int64 {
+	var vs []int64
+	if raw != nil {
+		json.Unmarshal(raw, &vs)
+	}
+	return vs
+}
+
+// mergeBounded inserts id into list (dedup), sorts descending, and trims
+// to the cap largest ids — the canonical, order-insensitive PushCap merge
+// every cell applies, which is what makes PushCap commute.
+func mergeBounded(list []int64, id int64, cap int) []int64 {
+	for _, v := range list {
+		if v == id {
+			return list
+		}
+	}
+	list = append(list, id)
+	sort.Slice(list, func(i, j int) bool { return list[i] > list[j] })
+	if cap > 0 && len(list) > cap {
+		list = list[:cap]
+	}
+	return list
+}
+
+// pushCapRMW implements PushCap as a read-modify-write over Get/Put — the
+// shared path for cells whose Txn is already isolated (actors, entities,
+// the deterministic core) or serial (the auditors' reference map).
+func pushCapRMW(tx Txn, key string, id int64, cap int) error {
+	raw, _, err := tx.Get(key)
+	if err != nil {
+		return err
+	}
+	return tx.Put(key, EncodeIntList(mergeBounded(DecodeIntList(raw), id, cap)))
+}
+
 // Op is one named transactional operation of an application.
 type Op struct {
 	// Name identifies the op within its App.
@@ -77,7 +135,7 @@ type Op struct {
 	// from the read-gather phase without a write-emit round, and the
 	// deterministic cell reads its committed state without consuming a
 	// write-schedule slot. The contract is enforced: a ReadOnly body that
-	// calls Put or Add gets ErrReadOnlyOp on every cell.
+	// calls Put, Add, or PushCap gets ErrReadOnlyOp on every cell.
 	ReadOnly bool
 	// Body executes the op over the cell's Txn. It must be deterministic
 	// (same visible state + args => same writes and result) and safe to
@@ -93,8 +151,9 @@ var ErrReadOnlyOp = errors.New("tca: write attempted by read-only op")
 // roTxn enforces the ReadOnly contract over any cell's Txn.
 type roTxn struct{ Txn }
 
-func (roTxn) Put(string, []byte) error { return ErrReadOnlyOp }
-func (roTxn) Add(string, int64) error  { return ErrReadOnlyOp }
+func (roTxn) Put(string, []byte) error         { return ErrReadOnlyOp }
+func (roTxn) Add(string, int64) error          { return ErrReadOnlyOp }
+func (roTxn) PushCap(string, int64, int) error { return ErrReadOnlyOp }
 
 // guard wraps tx to reject writes when the op is declared ReadOnly, so
 // every cell enforces the same contract regardless of its write path.

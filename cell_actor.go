@@ -55,6 +55,12 @@ func (t actorTxn) Add(key string, delta int64) error {
 	return t.Put(key, EncodeInt(DecodeInt(raw)+delta))
 }
 
+// PushCap is a plain read-modify-write here: the 2PL exclusive lock on the
+// key actor serializes concurrent merges.
+func (t actorTxn) PushCap(key string, id int64, cap int) error {
+	return pushCapRMW(t, key, id, cap)
+}
+
 func (c *actorCell) Model() ProgrammingModel { return Actors }
 func (c *actorCell) App() *App               { return c.app }
 

@@ -51,6 +51,12 @@ func (t coreTxn) Add(key string, delta int64) error {
 	return t.tx.Put(key, EncodeInt(DecodeInt(raw)+delta))
 }
 
+// PushCap is a plain read-modify-write here: the conflict-chain schedule
+// serializes every access to the key.
+func (t coreTxn) PushCap(key string, id int64, cap int) error {
+	return pushCapRMW(t, key, id, cap)
+}
+
 func (c *coreCell) Model() ProgrammingModel { return Deterministic }
 func (c *coreCell) App() *App               { return c.app }
 

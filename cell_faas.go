@@ -90,6 +90,12 @@ func (t *faasTxn) Add(key string, delta int64) error {
 	return t.Put(key, EncodeInt(DecodeInt(raw)+delta))
 }
 
+// PushCap is a plain read-modify-write here: the critical section holds
+// the entity lock, so concurrent merges serialize.
+func (t *faasTxn) PushCap(key string, id int64, cap int) error {
+	return pushCapRMW(t, key, id, cap)
+}
+
 func (c *faasCell) Model() ProgrammingModel { return CloudFunctions }
 func (c *faasCell) App() *App               { return c.app }
 

@@ -48,6 +48,12 @@ type kvApplyReq struct {
 	Set   bool   `json:"set,omitempty"`
 	Del   bool   `json:"del,omitempty"`
 	Val   string `json:"val,omitempty"`
+	// Push merges ID into the bounded id list at Key, keeping the Cap
+	// largest (Txn.PushCap). Compensation restores the captured previous
+	// value through the Set path, like any replaced value.
+	Push bool  `json:"push,omitempty"`
+	ID   int64 `json:"id,omitempty"`
+	Cap  int   `json:"cap,omitempty"`
 }
 
 type kvApplyResp struct {
@@ -90,6 +96,9 @@ func newMicroCell(app *App, env *Env) *microCell {
 					resp = kvApplyResp{Prev: row.Str("v"), PrevFound: true}
 				}
 				switch {
+				case r.Push:
+					merged := mergeBounded(DecodeIntList([]byte(resp.Prev)), r.ID, r.Cap)
+					return tx.Put("state", r.Key, store.Row{"v": string(EncodeIntList(merged))})
 				case r.Set && r.Del:
 					return tx.Delete("state", r.Key)
 				case r.Set:
@@ -137,9 +146,12 @@ func (c *microCell) call(key, op, idemKey string, req, resp any, tr *fabric.Trac
 // microWrite is one buffered write awaiting its saga step.
 type microWrite struct {
 	key   string
-	delta int64 // Add write when !set
+	delta int64 // Add write when !set && !push
 	set   bool  // Put write: replace with val
 	val   []byte
+	push  bool // PushCap write: merge id into the bounded list
+	id    int64
+	cap   int
 	// prev captures the apply response for compensation.
 	prev kvApplyResp
 }
@@ -167,9 +179,12 @@ func (t *microTxn) Get(key string) ([]byte, bool, error) {
 		if w.key != key {
 			continue
 		}
-		if w.set {
+		switch {
+		case w.set:
 			raw, found = w.val, true
-		} else {
+		case w.push:
+			raw, found = EncodeIntList(mergeBounded(DecodeIntList(raw), w.id, w.cap)), true
+		default:
 			raw, found = EncodeInt(DecodeInt(raw)+w.delta), true
 		}
 	}
@@ -183,6 +198,11 @@ func (t *microTxn) Put(key string, value []byte) error {
 
 func (t *microTxn) Add(key string, delta int64) error {
 	t.writes = append(t.writes, microWrite{key: key, delta: delta})
+	return nil
+}
+
+func (t *microTxn) PushCap(key string, id int64, cap int) error {
+	t.writes = append(t.writes, microWrite{key: key, push: true, id: id, cap: cap})
 	return nil
 }
 
@@ -216,15 +236,20 @@ func (c *microCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) 
 			Name: w.key,
 			Action: func(*saga.Ctx) error {
 				req := kvApplyReq{Key: w.key, Delta: w.delta}
-				if w.set {
+				switch {
+				case w.set:
 					req = kvApplyReq{Key: w.key, Set: true, Val: string(w.val)}
+				case w.push:
+					req = kvApplyReq{Key: w.key, Push: true, ID: w.id, Cap: w.cap}
 				}
 				return c.call(w.key, "apply", fmt.Sprintf("%s/w%d", reqID, i), req, &w.prev, tr)
 			},
 			Compensate: func(*saga.Ctx) error {
 				req := kvApplyReq{Key: w.key, Delta: -w.delta}
-				if w.set {
-					// Restore (or remove) the value the step replaced.
+				if w.set || w.push {
+					// Restore (or remove) the value the step replaced — for
+					// a push that also brings back any id the bounded merge
+					// evicted, which removing just w.id would lose.
 					req = kvApplyReq{Key: w.key, Set: true, Val: w.prev.Prev, Del: !w.prev.PrevFound}
 				}
 				return c.call(w.key, "apply", fmt.Sprintf("%s/c%d", reqID, i), req, nil, tr)

@@ -21,12 +21,21 @@ import (
 //  3. key functions reply with their current values;
 //  4. when the last reply arrives the body runs over the gathered
 //     snapshot, and its writes go out as messages — Put as a full value,
-//     Add as a commutative delta.
+//     Add as a commutative delta, PushCap as a bounded-list merge.
+//
+// Wide transactions chunk: the runtime budgets statefun.MaxSends sends
+// per invocation, so both the read-scatter and the write-emit reserve the
+// last slot for a SendSelf continuation and resume from the
+// continuation's own invocation (cursor and pending writes held in the
+// txn function's scoped state, checkpoint-consistent with the messages).
+// A compose-post to 128 followers is no longer a hard failure — it is
+// ⌈129/31⌉ scatter rounds and ⌈129/31⌉ emit rounds, each exactly-once.
 //
 // Every message is exactly-once (the statefun runtime's idempotent
 // produce), so deltas never double-apply — but the snapshot is gathered
 // asynchronously and writes land asynchronously: there is no isolation
-// across keys, the §4.2 gap E7/E17 demonstrate.
+// across keys, the §4.2 gap E7/E17 demonstrate. Chunking widens the
+// gather window, it does not change the guarantee.
 type statefunCell struct {
 	app *App
 	sf  *statefun.App
@@ -34,11 +43,23 @@ type statefunCell struct {
 	probeSeq atomic.Int64
 	mu       sync.Mutex
 	probes   map[string]chan sfProbeResp
+
+	// handlerErrs counts handler invocations that returned an error —
+	// the cell's honest drop count, which the conformance tests pin to
+	// zero (in particular: statefun.ErrTooManySends must be unreachable
+	// now that both choreography phases chunk).
+	handlerErrs    atomic.Int64
+	lastHandlerErr atomic.Value // sfErrBox
 }
+
+// sfErrBox wraps handler errors in one concrete type: atomic.Value
+// panics on stores of inconsistently typed values, and handler errors
+// legitimately vary in dynamic type.
+type sfErrBox struct{ err error }
 
 // sfMsg is the choreography wire format.
 type sfMsg struct {
-	Kind  string `json:"k"` // "op", "read", "resp", "put", "add", "probe"
+	Kind  string `json:"k"` // "op", "cont", "read", "resp", "flush", "put", "add", "push", "probe"
 	Req   string `json:"r,omitempty"`
 	Op    string `json:"o,omitempty"`
 	Args  []byte `json:"a,omitempty"`
@@ -46,6 +67,8 @@ type sfMsg struct {
 	Val   []byte `json:"v,omitempty"`
 	Found bool   `json:"f,omitempty"`
 	Delta int64  `json:"d,omitempty"`
+	ID    int64  `json:"id,omitempty"`
+	Cap   int    `json:"c,omitempty"`
 	Probe string `json:"p,omitempty"`
 }
 
@@ -82,13 +105,34 @@ func newStatefunCell(app *App, env *Env) (*statefunCell, error) {
 			}
 		},
 	})
-	sf.Register(sfKeyFn, c.keyHandler)
-	sf.Register(sfTxnFn, c.txnHandler)
+	sf.Register(sfKeyFn, c.trap(c.keyHandler))
+	sf.Register(sfTxnFn, c.trap(c.txnHandler))
 	if err := sf.Start(); err != nil {
 		return nil, err
 	}
 	c.sf = sf
 	return c, nil
+}
+
+// trap wraps a handler to count (and keep) errors: asynchronous cells drop
+// failed ops — the honest dataflow failure mode — but the tests assert the
+// drop count stays zero on conforming workloads.
+func (c *statefunCell) trap(h statefun.Handler) statefun.Handler {
+	return func(ctx *statefun.Ctx, payload []byte) error {
+		err := h(ctx, payload)
+		if err != nil {
+			c.handlerErrs.Add(1)
+			c.lastHandlerErr.Store(sfErrBox{err})
+		}
+		return err
+	}
+}
+
+// handlerErrors returns the number of dropped (errored) handler
+// invocations and the most recent error.
+func (c *statefunCell) handlerErrors() (int64, error) {
+	box, _ := c.lastHandlerErr.Load().(sfErrBox)
+	return c.handlerErrs.Load(), box.err
 }
 
 // keyHandler owns one key's state (scoped under the function instance).
@@ -107,6 +151,9 @@ func (c *statefunCell) keyHandler(ctx *statefun.Ctx, payload []byte) error {
 	case "add":
 		cur, _ := ctx.Get("v")
 		ctx.Set("v", EncodeInt(DecodeInt(cur)+m.Delta))
+	case "push":
+		cur, _ := ctx.Get("v")
+		ctx.Set("v", EncodeIntList(mergeBounded(DecodeIntList(cur), m.ID, m.Cap)))
 	case "probe":
 		val, found := ctx.Get("v")
 		out, _ := json.Marshal(sfProbeResp{Val: val, Found: found})
@@ -115,9 +162,11 @@ func (c *statefunCell) keyHandler(ctx *statefun.Ctx, payload []byte) error {
 	return nil
 }
 
-// txnHandler coordinates one op: gathers the declared snapshot, runs the
-// body, and emits the writes. Its scoped state (keyed by the reqID) holds
-// the pending op between rounds.
+// txnHandler coordinates one op: gathers the declared snapshot (chunked
+// across continuation rounds past the send budget), runs the body, and
+// emits the writes (chunked the same way). Its scoped state (keyed by the
+// reqID) holds the pending op, the scatter cursor, and the un-emitted
+// writes between rounds.
 func (c *statefunCell) txnHandler(ctx *statefun.Ctx, payload []byte) error {
 	var m sfMsg
 	if err := json.Unmarshal(payload, &m); err != nil {
@@ -136,12 +185,24 @@ func (c *statefunCell) txnHandler(ctx *statefun.Ctx, payload []byte) error {
 		ctx.Set("op", payload)
 		ctx.Set("want", EncodeInt(int64(len(keys))))
 		ctx.Set("got", EncodeInt(0))
-		for _, k := range keys {
-			req, _ := json.Marshal(sfMsg{Kind: "read", Req: ctx.Self.ID, Key: k})
-			if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: k}, req); err != nil {
-				return err
-			}
+		return c.scatterReads(ctx, keys, 0)
+	case "cont":
+		// Continuation of the read scatter: recompute the declared key
+		// set from the stored op and resume from the cursor.
+		opRaw, ok := ctx.Get("op")
+		if !ok {
+			return nil // already completed (replayed continuation)
 		}
+		var pending sfMsg
+		if err := json.Unmarshal(opRaw, &pending); err != nil {
+			return err
+		}
+		op, okOp := c.app.Op(pending.Op)
+		if !okOp {
+			return opError(c.app, pending.Op)
+		}
+		cursorRaw, _ := ctx.Get("next")
+		return c.scatterReads(ctx, c.app.keysOf(op, pending.Args), int(DecodeInt(cursorRaw)))
 	case "resp":
 		if m.Found {
 			ctx.Set("val/"+m.Key, m.Val)
@@ -175,9 +236,85 @@ func (c *statefunCell) txnHandler(ctx *statefun.Ctx, payload []byte) error {
 		ctx.Del("op")
 		ctx.Del("want")
 		ctx.Del("got")
+		ctx.Del("next")
 		return c.runBody(ctx, op, pending.Args, snapshot)
+	case "flush":
+		// Continuation of the write emit: ship the next chunk of the
+		// writes stored by the previous round.
+		pendRaw, ok := ctx.Get("pend")
+		if !ok {
+			return nil // already flushed (replayed continuation)
+		}
+		var writes []sfWrite
+		if err := json.Unmarshal(pendRaw, &writes); err != nil {
+			return err
+		}
+		return c.emitWrites(ctx, writes)
 	}
 	return nil
+}
+
+// scatterReads sends read requests for keys[from:], reserving the last
+// send slot for a SendSelf continuation when the remainder exceeds the
+// invocation's budget. The cursor persists in scoped state so the
+// continuation round resumes where this one stopped.
+func (c *statefunCell) scatterReads(ctx *statefun.Ctx, keys []string, from int) error {
+	n := len(keys) - from
+	budget := ctx.SendsRemaining()
+	chunked := n > budget
+	if chunked {
+		n = budget - 1
+	}
+	for _, k := range keys[from : from+n] {
+		req, _ := json.Marshal(sfMsg{Kind: "read", Req: ctx.Self.ID, Key: k})
+		if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: k}, req); err != nil {
+			return err
+		}
+	}
+	if !chunked {
+		return nil
+	}
+	ctx.Set("next", EncodeInt(int64(from+n)))
+	cont, _ := json.Marshal(sfMsg{Kind: "cont"})
+	return ctx.SendSelf(cont)
+}
+
+// emitWrites ships writes to the key functions, reserving the last send
+// slot for a SendSelf continuation when the remainder exceeds the
+// invocation's budget; the tail persists in scoped state until the flush
+// round picks it up.
+func (c *statefunCell) emitWrites(ctx *statefun.Ctx, writes []sfWrite) error {
+	n := len(writes)
+	budget := ctx.SendsRemaining()
+	chunked := n > budget
+	if chunked {
+		n = budget - 1
+	}
+	for _, w := range writes[:n] {
+		var msg []byte
+		switch {
+		case w.Set:
+			msg, _ = json.Marshal(sfMsg{Kind: "put", Key: w.Key, Val: w.Val})
+		case w.Push:
+			msg, _ = json.Marshal(sfMsg{Kind: "push", Key: w.Key, ID: w.ID, Cap: w.Cap})
+		default:
+			msg, _ = json.Marshal(sfMsg{Kind: "add", Key: w.Key, Delta: w.Delta})
+		}
+		if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: w.Key}, msg); err != nil {
+			return err
+		}
+	}
+	if !chunked {
+		ctx.Del("pend")
+		return nil
+	}
+	rest, err := json.Marshal(writes[n:])
+	if err != nil {
+		return err
+	}
+	ctx.Set("pend", rest)
+	cont, _ := json.Marshal(sfMsg{Kind: "flush"})
+	return ctx.SendSelf(cont)
 }
 
 // runBody executes the body over the gathered snapshot and sends its
@@ -195,18 +332,7 @@ func (c *statefunCell) runBody(ctx *statefun.Ctx, op Op, args []byte, snapshot m
 		// see the op.
 		return nil
 	}
-	for _, w := range tx.writes {
-		var msg []byte
-		if w.set {
-			msg, _ = json.Marshal(sfMsg{Kind: "put", Key: w.key, Val: w.val})
-		} else {
-			msg, _ = json.Marshal(sfMsg{Kind: "add", Key: w.key, Delta: w.delta})
-		}
-		if err := ctx.Send(statefun.Ref{Type: sfKeyFn, ID: w.key}, msg); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.emitWrites(ctx, tx.writes)
 }
 
 // sfTxn runs a body over the choreography's gathered snapshot. Writes are
@@ -217,35 +343,49 @@ type sfTxn struct {
 	writes   []sfWrite
 }
 
+// sfWrite is one buffered write; fields are exported because the write
+// tail of a chunked emit round persists JSON-encoded in the txn
+// function's scoped state between invocations.
 type sfWrite struct {
-	key   string
-	set   bool
-	val   []byte
-	delta int64
+	Key   string `json:"k"`
+	Set   bool   `json:"s,omitempty"`
+	Val   []byte `json:"v,omitempty"`
+	Delta int64  `json:"d,omitempty"`
+	Push  bool   `json:"p,omitempty"`
+	ID    int64  `json:"id,omitempty"`
+	Cap   int    `json:"c,omitempty"`
 }
 
 func (t *sfTxn) Get(key string) ([]byte, bool, error) {
 	raw, found := t.snapshot[key]
 	for _, w := range t.writes {
-		if w.key != key {
+		if w.Key != key {
 			continue
 		}
-		if w.set {
-			raw, found = w.val, true
-		} else {
-			raw, found = EncodeInt(DecodeInt(raw)+w.delta), true
+		switch {
+		case w.Set:
+			raw, found = w.Val, true
+		case w.Push:
+			raw, found = EncodeIntList(mergeBounded(DecodeIntList(raw), w.ID, w.Cap)), true
+		default:
+			raw, found = EncodeInt(DecodeInt(raw)+w.Delta), true
 		}
 	}
 	return raw, found, nil
 }
 
 func (t *sfTxn) Put(key string, value []byte) error {
-	t.writes = append(t.writes, sfWrite{key: key, set: true, val: value})
+	t.writes = append(t.writes, sfWrite{Key: key, Set: true, Val: value})
 	return nil
 }
 
 func (t *sfTxn) Add(key string, delta int64) error {
-	t.writes = append(t.writes, sfWrite{key: key, delta: delta})
+	t.writes = append(t.writes, sfWrite{Key: key, Delta: delta})
+	return nil
+}
+
+func (t *sfTxn) PushCap(key string, id int64, cap int) error {
+	t.writes = append(t.writes, sfWrite{Key: key, Push: true, ID: id, Cap: cap})
 	return nil
 }
 

@@ -39,10 +39,16 @@ var (
 	ErrNotRunning   = errors.New("statefun: app not running")
 )
 
-// maxSendsPerInvocation bounds function fan-out per consumed message; the
-// deterministic idempotence scheme reserves this many sequence numbers per
-// input record.
-const maxSendsPerInvocation = 32
+// MaxSends bounds function fan-out per consumed message; the deterministic
+// idempotence scheme reserves this many sequence numbers per input record.
+// Wider fan-outs are not a runtime feature but a choreography pattern:
+// send up to MaxSends-1 messages, reserve the last slot for a SendSelf
+// continuation, and resume from the continuation's own invocation. Each
+// continuation round is driven by its own consumed record (a fresh offset
+// on the internal topic), so the per-record sequence space
+// origin.Offset*MaxSends+sends stays collision-free across rounds — no
+// extension of the idempotence scheme is needed, only the reserved slot.
+const MaxSends = 32
 
 // Ref addresses a function instance.
 type Ref struct {
@@ -98,8 +104,8 @@ func (c *Ctx) Del(key string) {
 // Send delivers a message to another function, exactly once even across
 // crash-replay (deterministic idempotent produce).
 func (c *Ctx) Send(to Ref, payload []byte) error {
-	if c.sends >= maxSendsPerInvocation {
-		return fmt.Errorf("%w: > %d", ErrTooManySends, maxSendsPerInvocation)
+	if c.sends >= MaxSends {
+		return fmt.Errorf("%w: > %d", ErrTooManySends, MaxSends)
 	}
 	env := envelope{To: to, From: c.Self, Payload: payload}
 	data, err := json.Marshal(env)
@@ -107,11 +113,25 @@ func (c *Ctx) Send(to Ref, payload []byte) error {
 		return fmt.Errorf("statefun: marshal envelope: %w", err)
 	}
 	producerID := fmt.Sprintf("%s-fn-p%d", c.app.cfg.Name, c.origin.Partition)
-	seq := c.origin.Offset*maxSendsPerInvocation + int64(c.sends)
+	seq := c.origin.Offset*MaxSends + int64(c.sends)
 	c.sends++
 	_, err = c.app.broker.ProduceIdempotent(c.app.internalTopic(), to.String(), data, producerID, seq)
 	return err
 }
+
+// SendSelf delivers a message to the invoked instance itself — the
+// continuation primitive for multi-round choreographies. The message is
+// keyed like any other send, so it lands on the same partition and sees
+// the same scoped state, and it is exactly-once like any other send: a
+// crash between rounds replays the round that produced the continuation,
+// and the broker dedups the re-produce.
+func (c *Ctx) SendSelf(payload []byte) error { return c.Send(c.Self, payload) }
+
+// SendsRemaining returns how many sends this invocation may still make
+// before Send returns ErrTooManySends. Choreographies that fan out wider
+// than the budget chunk on it: send SendsRemaining()-1 messages, then one
+// SendSelf continuation to claim a fresh budget.
+func (c *Ctx) SendsRemaining() int { return MaxSends - c.sends }
 
 // SendEgress emits a record to the app's egress. With an egress topic the
 // delivery is exactly-once (committed at checkpoints); with a callback it

@@ -303,7 +303,7 @@ func TestTooManySends(t *testing.T) {
 	app := NewApp(b, Config{Name: "burst", Parallelism: 1, Ingress: "burst-in"})
 	app.Register("burst", func(ctx *Ctx, payload []byte) error {
 		var err error
-		for i := 0; i <= maxSendsPerInvocation; i++ {
+		for i := 0; i <= MaxSends; i++ {
 			// Target an unregistered type: the sends are dropped at
 			// dispatch, so the storm does not recurse.
 			if err = ctx.Send(Ref{"sink-hole", "next"}, nil); err != nil {
@@ -328,6 +328,135 @@ func TestTooManySends(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("function never ran")
+	}
+}
+
+// registerChunkedFanout registers a function that delivers one message to
+// each of n counters (t0..t{n-1}) across as many invocation rounds as the
+// send budget requires — the continuation pattern the tca statefun cell
+// uses for wide transactions. The payload carries the next target index.
+func registerChunkedFanout(app *App, n int, errs chan<- error) {
+	app.Register("cfan", func(ctx *Ctx, payload []byte) error {
+		next := int(toI64(payload))
+		for next < n {
+			if ctx.SendsRemaining() == 1 && n-next > 1 {
+				// Last slot with more than one target left: reserve it
+				// for the continuation.
+				if err := ctx.SendSelf(i64(int64(next))); err != nil {
+					errs <- err
+					return err
+				}
+				return nil
+			}
+			if err := ctx.Send(Ref{"counter", fmt.Sprintf("t%d", next)}, i64(1)); err != nil {
+				errs <- err
+				return err
+			}
+			next++
+		}
+		return nil
+	})
+}
+
+// TestChunkedFanoutBoundaries pins the continuation pattern at the exact
+// chunk boundaries: fan-outs of 31 (fits with the reserved slot), 32 (the
+// old hard ceiling), 33 (first two-round case), and 3*31+1 (multi-round)
+// all complete with exactly one delivery per target and never hit
+// ErrTooManySends.
+func TestChunkedFanoutBoundaries(t *testing.T) {
+	for _, n := range []int{MaxSends - 1, MaxSends, MaxSends + 1, 3*(MaxSends-1) + 1} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			b := mq.NewBroker()
+			var mu sync.Mutex
+			last := map[string]int64{}
+			app := NewApp(b, Config{
+				Name: fmt.Sprintf("cfan%d", n), Parallelism: 2, Ingress: fmt.Sprintf("cfan%d-in", n),
+				OnEgress: func(k string, v []byte) {
+					mu.Lock()
+					last[k] = toI64(v)
+					mu.Unlock()
+				},
+			})
+			errs := make(chan error, n+4)
+			registerChunkedFanout(app, n, errs)
+			app.Register("counter", counterFn)
+			if err := app.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer app.Stop()
+			if err := app.SendToIngress(Ref{"cfan", "wide"}, i64(0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := app.WaitIdle(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-errs:
+				t.Fatalf("chunked fan-out hit a send error: %v", err)
+			default:
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("t%d", i)
+				if last[k] != 1 {
+					t.Fatalf("counter %s = %d, want exactly 1", k, last[k])
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedFanoutExactlyOnceAcrossCrash crashes the app mid-stream with
+// no checkpoint: every round replays, every send re-produces, and the
+// broker's idempotent-producer dedup still leaves exactly one delivery per
+// target — the continuation rounds share the per-record sequence space
+// safely because each round consumes its own record.
+func TestChunkedFanoutExactlyOnceAcrossCrash(t *testing.T) {
+	const n = 3*(MaxSends-1) + 1
+	b := mq.NewBroker()
+	var mu sync.Mutex
+	last := map[string]int64{}
+	app := NewApp(b, Config{
+		Name: "cfanx", Parallelism: 2, Ingress: "cfanx-in",
+		OnEgress: func(k string, v []byte) {
+			mu.Lock()
+			last[k] = toI64(v)
+			mu.Unlock()
+		},
+	})
+	errs := make(chan error, n+4)
+	registerChunkedFanout(app, n, errs)
+	app.Register("counter", counterFn)
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Stop()
+	if err := app.SendToIngress(Ref{"cfan", "wide"}, i64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.WaitIdle(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	app.Crash()
+	if err := app.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.WaitIdle(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		t.Fatalf("chunked fan-out hit a send error: %v", err)
+	default:
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("t%d", i)
+		if last[k] != 1 {
+			t.Fatalf("counter %s = %d, want exactly 1 across crash-replay", k, last[k])
+		}
 	}
 }
 

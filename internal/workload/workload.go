@@ -57,19 +57,29 @@ func (g *BankGen) Next() BankOp {
 // TPCCKind is the transaction type.
 type TPCCKind int
 
-// The two TPC-C transactions the SFaaS literature evaluates (ref [52]
+// The two write transactions the SFaaS literature evaluates (ref [52]
 // builds on exactly this subset plus the rest; NewOrder+Payment is 88% of
-// the standard mix).
+// the standard mix), plus the standard's two query transactions —
+// OrderStatus and StockLevel — which TPCCApp declares ReadOnly so every
+// cell answers them on its query fast path.
 const (
 	TPCCNewOrder TPCCKind = iota
 	TPCCPayment
+	TPCCOrderStatus
+	TPCCStockLevel
 )
 
 func (k TPCCKind) String() string {
-	if k == TPCCNewOrder {
+	switch k {
+	case TPCCNewOrder:
 		return "new-order"
+	case TPCCPayment:
+		return "payment"
+	case TPCCOrderStatus:
+		return "order-status"
+	default:
+		return "stock-level"
 	}
-	return "payment"
 }
 
 // TPCCItem is one order line.
@@ -84,8 +94,11 @@ type TPCCOp struct {
 	Warehouse int
 	District  int
 	Customer  int
-	Items     []TPCCItem // NewOrder only
+	Items     []TPCCItem // NewOrder (order lines) and StockLevel (items to inspect)
 	Amount    int64      // Payment only
+	// Threshold is StockLevel's low-stock cutoff (standard: uniform in
+	// 10..20); zero means the default the app body applies.
+	Threshold int64
 	// Remote reports a cross-warehouse access (the distributed-transaction
 	// trigger: ~10% of NewOrders and 15% of Payments in the standard).
 	Remote          bool
@@ -221,6 +234,25 @@ func (op TPCCOp) Keys() []string {
 				w = op.RemoteWarehouse
 			}
 			k := StockKey(w, it.ItemID)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+		return keys
+	case TPCCOrderStatus:
+		// The query reads the customer's balance and the district's order
+		// counter — both home-warehouse (queries are local in the
+		// standard's terminal model).
+		return []string{
+			CustomerKey(op.Warehouse, op.District, op.Customer),
+			DistrictKey(op.Warehouse, op.District),
+		}
+	case TPCCStockLevel:
+		keys := []string{DistrictKey(op.Warehouse, op.District)}
+		seen := map[string]struct{}{}
+		for _, it := range op.Items {
+			k := StockKey(op.Warehouse, it.ItemID)
 			if _, dup := seen[k]; !dup {
 				seen[k] = struct{}{}
 				keys = append(keys, k)
@@ -403,23 +435,66 @@ func (op MarketOp) Keys() []string {
 
 // --- social network -----------------------------------------------------------
 
-// SocialOp is one compose-post request: the post fans out to the author's
-// followers' timelines (the DeathStarBench hot path).
+// SocialKind is the social-network operation type.
+type SocialKind int
+
+// Social operations: compose-post is the DeathStarBench hot path; follow
+// and unfollow are the graph churn that mutates an author's fan-out key
+// set between posts.
+const (
+	SocialPost SocialKind = iota
+	SocialFollow
+	SocialUnfollow
+)
+
+func (k SocialKind) String() string {
+	switch k {
+	case SocialFollow:
+		return "follow"
+	case SocialUnfollow:
+		return "unfollow"
+	default:
+		return "compose-post"
+	}
+}
+
+// SocialOp is one social-network request. A compose-post (the zero Kind)
+// fans PostID out to the author's followers' timelines; the follower list
+// rides in the descriptor — Calvin-style reconnaissance done by the
+// workload layer, which owns the authoritative graph. Follow/unfollow
+// carry the single edge (Author, Follower) they flip.
 type SocialOp struct {
+	Kind      SocialKind
 	Author    int
-	Followers []int
+	PostID    int64 // compose-post: the id delivered to every timeline
+	Followers []int // compose-post: the fan-out set at generation time
+	Follower  int   // follow/unfollow: the follower gained or lost
 	TextLen   int
 }
 
-// SocialGen generates compose-post ops over a zipf-degree follower graph.
+// SocialGen generates social ops over a zipf-degree follower graph. With a
+// churn fraction > 0 it interleaves follow/unfollow ops that mutate the
+// graph, so successive posts by the same author can declare different
+// fan-out key sets — the dynamic-key-set stress the wide-transaction
+// machinery needs.
 type SocialGen struct {
 	rng       *rand.Rand
 	followers [][]int
+	churn     float64
+	nextPost  int64
 }
 
 // NewSocial builds a seeded follower graph of n users where user degree is
-// skewed (a few celebrities, many lurkers).
+// skewed (a few celebrities, many lurkers). The stream is churn-free:
+// every op is a compose-post (the pre-churn workload, kept for seeded
+// stream stability).
 func NewSocial(seed int64, users, maxFollowers int) *SocialGen {
+	return NewSocialChurn(seed, users, maxFollowers, 0)
+}
+
+// NewSocialChurn is NewSocial with a follow/unfollow fraction: each op is
+// a graph mutation with probability churn, a compose-post otherwise.
+func NewSocialChurn(seed int64, users, maxFollowers int, churn float64) *SocialGen {
 	if users < 2 {
 		users = 2
 	}
@@ -428,7 +503,7 @@ func NewSocial(seed int64, users, maxFollowers int) *SocialGen {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	zipf := rand.NewZipf(rng, 1.3, 1, uint64(maxFollowers))
-	g := &SocialGen{rng: rng, followers: make([][]int, users)}
+	g := &SocialGen{rng: rng, followers: make([][]int, users), churn: churn}
 	for u := range g.followers {
 		n := int(zipf.Uint64()) + 1
 		fs := make([]int, 0, n)
@@ -446,37 +521,98 @@ func NewSocial(seed int64, users, maxFollowers int) *SocialGen {
 	return g
 }
 
-// Next returns the next compose-post.
+// Next returns the next op. Compose-posts snapshot the author's current
+// follower list; follow/unfollow mutate the generator's graph in the same
+// step, so the descriptor stream and the graph stay in lockstep.
 func (g *SocialGen) Next() SocialOp {
+	// The churn draw only happens when churn is enabled, so churn-free
+	// generators keep the exact rng stream of the pre-churn workload.
+	if g.churn > 0 && g.rng.Float64() < g.churn {
+		if op, ok := g.nextChurn(); ok {
+			return op
+		}
+	}
 	author := g.rng.Intn(len(g.followers))
+	g.nextPost++
 	return SocialOp{
+		Kind:      SocialPost,
 		Author:    author,
-		Followers: g.followers[author],
+		PostID:    g.nextPost,
+		Followers: append([]int(nil), g.followers[author]...),
 		TextLen:   10 + g.rng.Intn(200),
 	}
+}
+
+// nextChurn flips one follower edge: an unfollow of an existing follower
+// half the time (when the author has any), otherwise a follow by a
+// non-follower (when one exists).
+func (g *SocialGen) nextChurn() (SocialOp, bool) {
+	users := len(g.followers)
+	author := g.rng.Intn(users)
+	fs := g.followers[author]
+	if len(fs) > 0 && (g.rng.Float64() < 0.5 || len(fs) >= users-1) {
+		i := g.rng.Intn(len(fs))
+		f := fs[i]
+		g.followers[author] = append(append([]int(nil), fs[:i]...), fs[i+1:]...)
+		return SocialOp{Kind: SocialUnfollow, Author: author, Follower: f}, true
+	}
+	// Find a non-follower; give up (fall back to a post) if the draw
+	// keeps hitting existing edges.
+	following := map[int]struct{}{author: {}}
+	for _, f := range fs {
+		following[f] = struct{}{}
+	}
+	for tries := 0; tries < 8 && len(following) < users; tries++ {
+		f := g.rng.Intn(users)
+		if _, dup := following[f]; dup {
+			continue
+		}
+		g.followers[author] = append(append([]int(nil), fs...), f)
+		return SocialOp{Kind: SocialFollow, Author: author, Follower: f}, true
+	}
+	return SocialOp{}, false
 }
 
 // FollowerCount returns user u's follower count (graph inspection).
 func (g *SocialGen) FollowerCount(u int) int { return len(g.followers[u]) }
 
+// Followers returns a copy of user u's current follower list.
+func (g *SocialGen) Followers(u int) []int {
+	return append([]int(nil), g.followers[u]...)
+}
+
 // Users returns the size of the follower graph.
 func (g *SocialGen) Users() int { return len(g.followers) }
 
-// PostsKey / TimelineKey name the state keys a compose-post touches,
-// shared by the SocialApp bodies and auditor.
+// PostsKey / TimelineKey / FollowKey name the state keys a social op
+// touches, shared by the SocialApp bodies and auditor.
 func PostsKey(user int) string    { return fmt.Sprintf("posts/%d", user) }
 func TimelineKey(user int) string { return fmt.Sprintf("timeline/%d", user) }
 
-// Keys returns every state key the compose-post touches: the author's
-// post log plus one timeline per follower. The key set's width IS the
-// fan-out — on the statefun cell each key costs a read send (bounded per
-// invocation), and on the partitioned core it spreads the transaction
-// across partitions.
+// FollowKey is the (author, follower) edge counter: 1 while follower is
+// subscribed to author's posts, 0 after an unfollow. Counters instead of
+// a single list-valued followers key keep the churn commutative — a
+// follow is +1, an unfollow is -1, exact on every cell in any order.
+func FollowKey(author, follower int) string {
+	return fmt.Sprintf("follow/%d/%d", author, follower)
+}
+
+// Keys returns every state key the op touches (its declared key set). For
+// a compose-post that is the author's post log plus one timeline per
+// follower: the key set's width IS the fan-out — on the statefun cell
+// each key costs a read send (chunked across invocation rounds past the
+// send budget), and on the partitioned core it spreads the transaction
+// across partitions. Follow/unfollow touch the single edge they flip.
 func (op SocialOp) Keys() []string {
-	keys := make([]string, 0, len(op.Followers)+1)
-	keys = append(keys, PostsKey(op.Author))
-	for _, f := range op.Followers {
-		keys = append(keys, TimelineKey(f))
+	switch op.Kind {
+	case SocialFollow, SocialUnfollow:
+		return []string{FollowKey(op.Author, op.Follower)}
+	default:
+		keys := make([]string, 0, len(op.Followers)+1)
+		keys = append(keys, PostsKey(op.Author))
+		for _, f := range op.Followers {
+			keys = append(keys, TimelineKey(f))
+		}
+		return keys
 	}
-	return keys
 }

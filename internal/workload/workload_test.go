@@ -333,3 +333,93 @@ func TestTheoreticalMM1(t *testing.T) {
 		t.Log("saturated M/M/1 reported as +Inf duration (overflow), acceptable")
 	}
 }
+
+func TestSocialChurnGraphLockstep(t *testing.T) {
+	// The descriptor stream and the generator's graph must stay in
+	// lockstep: replaying the follow/unfollow ops onto the seed graph
+	// reproduces Followers(), and every compose-post snapshot equals the
+	// graph at generation time.
+	const users, fanout, ops = 24, 12, 600
+	shadow := map[int]map[int]bool{}
+	seedGen := NewSocialChurn(5, users, fanout, 0.3)
+	for u := 0; u < users; u++ {
+		shadow[u] = map[int]bool{}
+		for _, f := range seedGen.Followers(u) {
+			shadow[u][f] = true
+		}
+	}
+	kinds := map[SocialKind]int{}
+	lastPost := int64(0)
+	for i := 0; i < ops; i++ {
+		op := seedGen.Next()
+		kinds[op.Kind]++
+		switch op.Kind {
+		case SocialFollow:
+			if shadow[op.Author][op.Follower] {
+				t.Fatalf("op %d: follow of an existing follower %d -> %d", i, op.Follower, op.Author)
+			}
+			shadow[op.Author][op.Follower] = true
+		case SocialUnfollow:
+			if !shadow[op.Author][op.Follower] {
+				t.Fatalf("op %d: unfollow of a non-follower %d -> %d", i, op.Follower, op.Author)
+			}
+			delete(shadow[op.Author], op.Follower)
+		default:
+			if op.PostID <= lastPost {
+				t.Fatalf("op %d: post id %d not monotone (last %d)", i, op.PostID, lastPost)
+			}
+			lastPost = op.PostID
+			if len(op.Followers) != len(shadow[op.Author]) {
+				t.Fatalf("op %d: post snapshot has %d followers, graph has %d",
+					i, len(op.Followers), len(shadow[op.Author]))
+			}
+			for _, f := range op.Followers {
+				if !shadow[op.Author][f] {
+					t.Fatalf("op %d: post snapshot includes non-follower %d", i, f)
+				}
+			}
+		}
+	}
+	if kinds[SocialFollow] == 0 || kinds[SocialUnfollow] == 0 || kinds[SocialPost] == 0 {
+		t.Fatalf("degenerate churn mix: %v", kinds)
+	}
+	// Final graph agreement.
+	for u := 0; u < users; u++ {
+		if got, want := seedGen.FollowerCount(u), len(shadow[u]); got != want {
+			t.Fatalf("user %d: generator has %d followers, replay has %d", u, got, want)
+		}
+	}
+}
+
+func TestSocialChurnDeterministic(t *testing.T) {
+	a, b := NewSocialChurn(9, 32, 16, 0.25), NewSocialChurn(9, 32, 16, 0.25)
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Kind != y.Kind || x.Author != y.Author || x.PostID != y.PostID ||
+			x.Follower != y.Follower || len(x.Followers) != len(y.Followers) {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestSocialChurnFreeStreamIsAllPosts(t *testing.T) {
+	// NewSocial keeps the pre-churn contract: every op is a compose-post.
+	g := NewSocial(7, 16, 8)
+	for i := 0; i < 100; i++ {
+		if op := g.Next(); op.Kind != SocialPost {
+			t.Fatalf("op %d: churn-free generator produced %v", i, op.Kind)
+		}
+	}
+}
+
+func TestSocialOpKeysByKind(t *testing.T) {
+	post := SocialOp{Kind: SocialPost, Author: 1, PostID: 3, Followers: []int{2, 4}}
+	if got := post.Keys(); len(got) != 3 || got[0] != PostsKey(1) ||
+		got[1] != TimelineKey(2) || got[2] != TimelineKey(4) {
+		t.Fatalf("post keys = %v", got)
+	}
+	follow := SocialOp{Kind: SocialFollow, Author: 1, Follower: 9}
+	if got := follow.Keys(); len(got) != 1 || got[0] != FollowKey(1, 9) {
+		t.Fatalf("follow keys = %v", got)
+	}
+}

@@ -3,6 +3,8 @@ package tca
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 
 	"tca/internal/workload"
 )
@@ -12,27 +14,43 @@ import (
 // IS the author's follower list — one timeline key per follower, plus the
 // author's post log. That makes the workload a direct stress test of the
 // wide-transaction machinery in every cell: the statefun choreography
-// spends one read send per key (bounded per invocation by the runtime's
-// 32-send cap, so celebrity fan-outs approach the cell's honest limit),
-// and on the partitioned core a single post spans many partitions — the
+// spends one read send per key, chunked across continuation rounds past
+// the runtime's per-invocation send budget (a 128-follower celebrity post
+// is ~5 scatter rounds and ~5 emit rounds, no longer a hard failure), and
+// on the partitioned core a single post spans many partitions — the
 // multi-partition scheduling E16 measures, driven by a real workload.
 //
-// State encoding (all values EncodeInt int64):
+// State encoding:
 //
-//	posts/U     posts authored by U
-//	timeline/U  posts delivered to U's timeline
+//	posts/U     EncodeIntList — U's post log, the socialPostLogCap newest post ids
+//	timeline/U  EncodeIntList — U's timeline, the socialTimelineCap newest delivered post ids
+//	follow/U/F  EncodeInt — 1 while F follows U, 0 after an unfollow
 //
-// Both are commutative Adds, so every cell keeps them exact — the social
-// matrix (E19) shows the taxonomy's costs, not its anomalies: the same
-// fan-out costs 2 hops on the core and ~2 messages per follower on the
-// dataflow cell. read-timeline is declared ReadOnly.
+// Timelines and post logs are bounded id lists maintained with the
+// commutative Txn.PushCap merge, and follow edges are ±1 counters, so
+// every cell keeps the whole model exact — the social matrix (E19) shows
+// the taxonomy's costs, not its anomalies. read-timeline is declared
+// ReadOnly.
 
-// Social op names (SocialOp carries no kind: the generator only produces
-// compose-posts; read-timeline is driven by the benchmarks directly).
+// Social op names, matching workload.SocialKind.String() for the
+// generated kinds (read-timeline is driven by benchmarks directly).
 const (
 	SocialComposePost  = "compose-post"
 	SocialReadTimeline = "read-timeline"
+	SocialFollowOp     = "follow"
+	SocialUnfollowOp   = "unfollow"
 )
+
+// socialTimelineCap bounds a timeline to the newest post ids — the "last
+// K posts" read path of a real timeline service; socialPostLogCap bounds
+// the author's own post log.
+const (
+	socialTimelineCap = 8
+	socialPostLogCap  = 16
+)
+
+// SocialOpName maps a generated op to its registered op name.
+func SocialOpName(op workload.SocialOp) string { return op.Kind.String() }
 
 // socialTimelineArgs is read-timeline's wire argument.
 type socialTimelineArgs struct {
@@ -40,20 +58,21 @@ type socialTimelineArgs struct {
 }
 
 // SocialApp builds the social network as a model-agnostic App.
-// compose-post arguments are JSON-encoded workload.SocialOp descriptors —
-// the follower list rides in the descriptor, Calvin-style reconnaissance
-// done by the workload layer.
+// Op arguments are JSON-encoded workload.SocialOp descriptors — the
+// follower list rides in the compose-post descriptor, Calvin-style
+// reconnaissance done by the workload layer, whose generator owns the
+// authoritative graph and mutates it through the same follow/unfollow
+// stream the cells apply as edge counters.
 func SocialApp() *App {
 	app := NewApp("social")
-	app.Register(Op{
-		Name: SocialComposePost,
-		Keys: func(args []byte) []string {
-			var op workload.SocialOp
-			json.Unmarshal(args, &op)
-			return op.Keys()
-		},
-		Body: socialComposePost,
-	})
+	keys := func(args []byte) []string {
+		var op workload.SocialOp
+		json.Unmarshal(args, &op)
+		return op.Keys()
+	}
+	app.Register(Op{Name: SocialComposePost, Keys: keys, Body: socialComposePost})
+	app.Register(Op{Name: SocialFollowOp, Keys: keys, Body: socialFollow})
+	app.Register(Op{Name: SocialUnfollowOp, Keys: keys, Body: socialUnfollow})
 	app.Register(Op{
 		Name:     SocialReadTimeline,
 		ReadOnly: true,
@@ -67,26 +86,48 @@ func SocialApp() *App {
 	return app
 }
 
-// socialComposePost appends one post and fans it out to every follower's
-// timeline — pure commutative deltas over the declared key set.
+// socialComposePost appends the post id to the author's log and fans it
+// out to every follower's timeline — pure commutative bounded-list merges
+// over the declared key set, exact on every cell in any delivery order.
 func socialComposePost(tx Txn, args []byte) ([]byte, error) {
 	var op workload.SocialOp
 	if err := json.Unmarshal(args, &op); err != nil {
 		return nil, err
 	}
-	if err := tx.Add(workload.PostsKey(op.Author), 1); err != nil {
+	if err := tx.PushCap(workload.PostsKey(op.Author), op.PostID, socialPostLogCap); err != nil {
 		return nil, err
 	}
 	for _, f := range op.Followers {
-		if err := tx.Add(workload.TimelineKey(f), 1); err != nil {
+		if err := tx.PushCap(workload.TimelineKey(f), op.PostID, socialTimelineCap); err != nil {
 			return nil, err
 		}
 	}
 	return EncodeInt(int64(len(op.Followers))), nil
 }
 
-// socialReadTimeline returns the number of posts on a user's timeline —
-// the read-only op every cell answers without write machinery.
+// socialFollow flips the (author, follower) edge counter up — a
+// commutative delta, so churn interleaved with posts stays exact on every
+// cell.
+func socialFollow(tx Txn, args []byte) ([]byte, error) {
+	var op workload.SocialOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	return nil, tx.Add(workload.FollowKey(op.Author, op.Follower), 1)
+}
+
+// socialUnfollow flips the edge counter back down.
+func socialUnfollow(tx Txn, args []byte) ([]byte, error) {
+	var op workload.SocialOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	return nil, tx.Add(workload.FollowKey(op.Author, op.Follower), -1)
+}
+
+// socialReadTimeline returns the user's timeline — the bounded list of
+// newest delivered post ids, canonically encoded — via the read-only fast
+// path of every cell.
 func socialReadTimeline(tx Txn, args []byte) ([]byte, error) {
 	var a socialTimelineArgs
 	if err := json.Unmarshal(args, &a); err != nil {
@@ -96,32 +137,40 @@ func socialReadTimeline(tx Txn, args []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return EncodeInt(DecodeInt(raw)), nil
+	return EncodeIntList(DecodeIntList(raw)), nil
 }
 
-// SocialAuditor replays accepted compose-posts on a serial reference and
-// verifies a cell's post logs and timelines against it. Fan-out is purely
-// commutative, so every cell — even the eventual ones — must match: a
-// mismatch here means lost or duplicated delivery, not missing isolation.
+// SocialAuditor replays accepted social ops on a serial reference and
+// verifies a cell's post logs, timelines, and follow edges against it.
+// The whole state model is commutative (bounded-list merges and ±1 edge
+// deltas), so every cell — even the eventual ones — must match: a
+// mismatch means lost or duplicated delivery, not missing isolation. On
+// top of per-key equality the auditor checks read-your-writes: every
+// author's own post log must contain their most recent accepted post.
 type SocialAuditor struct {
-	app   *App
-	state mapTxn
+	app      *App
+	state    mapTxn
+	lastPost map[int]int64 // author -> most recent accepted post id
 }
 
 // NewSocialAuditor creates an empty auditor.
 func NewSocialAuditor() *SocialAuditor {
-	return &SocialAuditor{app: SocialApp(), state: make(mapTxn)}
+	return &SocialAuditor{app: SocialApp(), state: make(mapTxn), lastPost: make(map[int]int64)}
 }
 
-// Record replays one accepted compose-post on the serial reference.
+// Record replays one accepted op on the serial reference.
 func (a *SocialAuditor) Record(op workload.SocialOp) {
 	args, _ := json.Marshal(op)
-	registered, _ := a.app.Op(SocialComposePost)
+	registered, _ := a.app.Op(SocialOpName(op))
 	registered.Body(a.state, args)
+	if op.Kind == workload.SocialPost {
+		a.lastPost[op.Author] = op.PostID
+	}
 }
 
 // Verify settles the cell and returns one description per lost or
-// duplicated timeline delivery (empty = exact fan-out everywhere).
+// duplicated delivery or broken read-your-writes (empty = exact fan-out
+// and visible own-writes everywhere).
 func (a *SocialAuditor) Verify(c Cell) ([]string, error) {
 	if err := c.Settle(); err != nil {
 		return nil, err
@@ -132,9 +181,60 @@ func (a *SocialAuditor) Verify(c Cell) ([]string, error) {
 		if err != nil {
 			return anomalies, err
 		}
-		if got, want := DecodeInt(raw), DecodeInt(a.state[key]); got != want {
-			anomalies = append(anomalies, fmt.Sprintf("%s: %d deliveries, serial reference %d", key, got, want))
+		if strings.HasPrefix(key, "follow/") {
+			if got, want := DecodeInt(raw), DecodeInt(a.state[key]); got != want {
+				anomalies = append(anomalies, fmt.Sprintf("%s: edge count %d, serial reference %d", key, got, want))
+			}
+			continue
+		}
+		got, want := DecodeIntList(raw), DecodeIntList(a.state[key])
+		if !equalInt64s(got, want) {
+			anomalies = append(anomalies, fmt.Sprintf("%s: delivered %v, serial reference %v", key, got, want))
+		}
+	}
+	// Read-your-writes: the author's own post log must contain their most
+	// recent post (post ids are monotone, so the newest is never the one a
+	// bounded log evicts).
+	for _, author := range sortedIntKeys(a.lastPost) {
+		post := a.lastPost[author]
+		raw, _, err := c.Read(workload.PostsKey(author))
+		if err != nil {
+			return anomalies, err
+		}
+		if !containsInt64(DecodeIntList(raw), post) {
+			anomalies = append(anomalies,
+				fmt.Sprintf("read-your-writes: %s missing author %d's own post %d", workload.PostsKey(author), author, post))
 		}
 	}
 	return anomalies, nil
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt64(vs []int64, v int64) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedIntKeys(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -28,11 +28,14 @@ import (
 
 // tpccInitialStock is the stock level of an untouched item, and
 // tpccRestock the replenishment the standard prescribes when a NewOrder
-// would leave fewer than tpccRestockFloor units.
+// would leave fewer than tpccRestockFloor units. tpccStockLevelThreshold
+// is StockLevel's default low-stock cutoff (the standard draws 10..20
+// uniformly; descriptors may pin their own via TPCCOp.Threshold).
 const (
-	tpccInitialStock = 100
-	tpccRestock      = 91
-	tpccRestockFloor = 10
+	tpccInitialStock        = 100
+	tpccRestock             = 91
+	tpccRestockFloor        = 10
+	tpccStockLevelThreshold = 15
 )
 
 // TPCCApp builds the TPC-C subset as a model-agnostic App. Op arguments
@@ -47,7 +50,21 @@ func TPCCApp() *App {
 	}
 	app.Register(Op{Name: workload.TPCCNewOrder.String(), Keys: keys, Body: tpccNewOrder})
 	app.Register(Op{Name: workload.TPCCPayment.String(), Keys: keys, Body: tpccPayment})
+	app.Register(Op{Name: workload.TPCCOrderStatus.String(), Keys: keys, ReadOnly: true, Body: tpccOrderStatus})
+	app.Register(Op{Name: workload.TPCCStockLevel.String(), Keys: keys, ReadOnly: true, Body: tpccStockLevel})
 	return app
+}
+
+// tpccOrderStatusResult is order-status's wire result.
+type tpccOrderStatusResult struct {
+	Balance int64 `json:"balance"`
+	Orders  int64 `json:"orders"`
+}
+
+// tpccStockLevelResult is stock-level's wire result.
+type tpccStockLevelResult struct {
+	Low     int64 `json:"low"`
+	Scanned int64 `json:"scanned"`
 }
 
 // tpccOpName maps a generated op to its registered op name.
@@ -116,6 +133,61 @@ func tpccPayment(tx Txn, args []byte) ([]byte, error) {
 	return nil, tx.Add(workload.CustomerKey(cw, op.District, op.Customer), -op.Amount)
 }
 
+// tpccOrderStatus answers the standard's OrderStatus query from the
+// customer's balance and the district's order counter — a pure read over
+// its two declared keys, which every cell serves on its query fast path.
+func tpccOrderStatus(tx Txn, args []byte) ([]byte, error) {
+	var op workload.TPCCOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	balRaw, _, err := tx.Get(workload.CustomerKey(op.Warehouse, op.District, op.Customer))
+	if err != nil {
+		return nil, err
+	}
+	ordRaw, _, err := tx.Get(workload.DistrictKey(op.Warehouse, op.District))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(tpccOrderStatusResult{Balance: DecodeInt(balRaw), Orders: DecodeInt(ordRaw)})
+}
+
+// tpccStockLevel answers the standard's StockLevel query: how many of the
+// inspected items sit below the threshold. Untouched stock keys read as
+// tpccInitialStock, mirroring tpccNewOrder's implicit initialization.
+func tpccStockLevel(tx Txn, args []byte) ([]byte, error) {
+	var op workload.TPCCOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	threshold := op.Threshold
+	if threshold == 0 {
+		threshold = tpccStockLevelThreshold
+	}
+	var res tpccStockLevelResult
+	seen := map[string]struct{}{}
+	for _, it := range op.Items {
+		k := workload.StockKey(op.Warehouse, it.ItemID)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		raw, found, err := tx.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		s := int64(tpccInitialStock)
+		if found {
+			s = DecodeInt(raw)
+		}
+		res.Scanned++
+		if s < threshold {
+			res.Low++
+		}
+	}
+	return json.Marshal(res)
+}
+
 // mapTxn is the reference Txn: a plain map, applied sequentially. The
 // auditor replays the op stream on it with the very same bodies, making
 // the reference definitionally the serial outcome.
@@ -134,6 +206,10 @@ func (m mapTxn) Put(key string, value []byte) error {
 func (m mapTxn) Add(key string, delta int64) error {
 	m[key] = EncodeInt(DecodeInt(m[key]) + delta)
 	return nil
+}
+
+func (m mapTxn) PushCap(key string, id int64, cap int) error {
+	return pushCapRMW(m, key, id, cap)
 }
 
 // TPCCAuditor replays a TPC-C op stream on a serial reference and then
