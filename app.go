@@ -224,8 +224,9 @@ func (a *App) keysOf(op Op, args []byte) []string {
 }
 
 // Cell is one deployment of an App under one taxonomy cell. The same
-// methods mean honestly different things per cell — Invoke on an eventual
-// cell acknowledges acceptance, not completion — which Guarantee reports.
+// methods mean honestly different things per cell — Submit on an eventual
+// cell acknowledges acceptance, and its Handle resolves at completion —
+// which Guarantee reports.
 type Cell interface {
 	// Model returns the cell's programming model.
 	Model() ProgrammingModel
@@ -233,10 +234,18 @@ type Cell interface {
 	Guarantee() Guarantee
 	// App returns the deployed application.
 	App() *App
-	// Invoke runs the named op with args. reqID identifies the logical
+	// Submit starts the named op with args and returns a Handle that
+	// resolves when the op has applied. reqID identifies the logical
 	// request for idempotence where the cell supports it; tr accumulates
-	// simulated latency. Eventual cells return before the op applies —
-	// call Settle before auditing state.
+	// simulated latency. Submit's return is acceptance: synchronous cells
+	// run the op on a bounded worker pool (Options.Clients), the
+	// deterministic cell acknowledges once the transaction is durably
+	// appended (concurrent submissions share group log appends), and the
+	// dataflow cell acknowledges at the ingress — the per-cell accept/apply
+	// split E20 measures.
+	Submit(reqID, op string, args []byte, tr *fabric.Trace) Handle
+	// Invoke runs the named op to completion: Submit(reqID, op, args,
+	// tr).Result() on every cell.
 	Invoke(reqID, op string, args []byte, tr *fabric.Trace) ([]byte, error)
 	// Read returns the settled value of one key (eventual cells quiesce
 	// first). Use it for audits, not as part of an op.
@@ -258,11 +267,11 @@ func Deploy(model ProgrammingModel, app *App, env *Env) (Cell, error) {
 func DeployWith(model ProgrammingModel, app *App, env *Env, opts Options) (Cell, error) {
 	switch model {
 	case Microservices:
-		return newMicroCell(app, env), nil
+		return newMicroCell(app, env, opts), nil
 	case Actors:
-		return newActorCell(app, env), nil
+		return newActorCell(app, env, opts), nil
 	case CloudFunctions:
-		return newFaasCell(app, env), nil
+		return newFaasCell(app, env, opts), nil
 	case StatefulDataflow:
 		return newStatefunCell(app, env)
 	case Deterministic:

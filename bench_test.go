@@ -701,8 +701,10 @@ func BenchmarkE14_TPCC(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/wh=%d", style.name, warehouses), func(b *testing.B) {
 				env := NewEnv(1, 3)
 				// Workers widens the core cell for the parallel clients;
-				// the other models ignore it.
-				cell, err := DeployWith(style.model, TPCCApp(), env, Options{Workers: 16})
+				// Clients keeps the sync cells' worker pool above
+				// RunParallel's goroutine count so the pool never caps
+				// this benchmark's concurrency.
+				cell, err := DeployWith(style.model, TPCCApp(), env, Options{Workers: 16, Clients: 64})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -739,60 +741,74 @@ func BenchmarkE14_TPCC(b *testing.B) {
 // The cross-warehouse rate (TPCCOp.Remote) is swept over {0%, 10%, 50%}
 // at 4 warehouses: remote transactions are the app-level counterpart of
 // E16's cross-partition ratio, and the sweep ties the two curves together
-// — the same seeded transactions, only the Remote bit changes.
+// — the same seeded transactions, only the Remote bit changes. The query
+// rate (TPCCConfig.QueryFrac ∈ {0%, 20%}) is the matrix's read-path
+// column, like E18's: OrderStatus/StockLevel ride every cell's ReadOnly
+// fast path, so cells with a cheap query path gain more from the same
+// query share.
 func BenchmarkE17_TPCCMatrix(b *testing.B) {
 	for _, warehouses := range []int{1, 4} { // contention knob: hot vs spread districts
 		for _, remotePct := range []int{0, 10, 50} {
 			if warehouses == 1 && remotePct > 0 {
 				continue // a single warehouse has no cross-warehouse transactions
 			}
-			cfg := workload.DefaultTPCCConfig(warehouses)
-			cfg.RemoteFrac = workload.RemoteFrac(float64(remotePct) / 100)
-			for _, model := range allModels {
-				b.Run(fmt.Sprintf("%s/wh=%d/remote=%d%%", model, warehouses, remotePct), func(b *testing.B) {
-					env := NewEnv(1, 3)
-					cell, err := Deploy(model, TPCCApp(), env)
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer cell.Close()
-					gen := workload.NewTPCC(11, cfg)
-					audit := NewTPCCAuditor()
-					var sim int64
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						op := gen.Next()
-						args, _ := json.Marshal(op)
-						tr := fabric.NewTrace()
-						_, err := cell.Invoke(fmt.Sprintf("e17-%d", i), tpccOpName(op), args, tr)
-						// The eventual cell acknowledges acceptance, so its
-						// ops are recorded unconditionally — the same rule
-						// E18/E19 and tcabench use, keeping both E17 drivers
-						// on one audit baseline for identical streams.
-						if model == StatefulDataflow || err == nil {
-							audit.Record(op)
+			for _, queryPct := range []int{0, 20} {
+				cfg := workload.DefaultTPCCConfig(warehouses)
+				cfg.RemoteFrac = workload.RemoteFrac(float64(remotePct) / 100)
+				cfg.QueryFrac = float64(queryPct) / 100
+				for _, model := range allModels {
+					b.Run(fmt.Sprintf("%s/wh=%d/remote=%d%%/query=%d%%", model, warehouses, remotePct, queryPct), func(b *testing.B) {
+						env := NewEnv(1, 3)
+						cell, err := Deploy(model, TPCCApp(), env)
+						if err != nil {
+							b.Fatal(err)
 						}
-						sim += int64(tr.Total())
-						// Bound the eventual cell's in-flight choreography so the
-						// final settle stays within its timeout.
-						if model == StatefulDataflow && i%256 == 255 {
-							if err := cell.Settle(); err != nil {
-								b.Fatal(err)
+						defer cell.Close()
+						gen := workload.NewTPCC(11, cfg)
+						audit := NewTPCCAuditor()
+						var sim, queries int64
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							op := gen.Next()
+							args, _ := json.Marshal(op)
+							tr := fabric.NewTrace()
+							_, err := cell.Invoke(fmt.Sprintf("e17-%d", i), tpccOpName(op), args, tr)
+							// The eventual cell's ops are recorded
+							// unconditionally: even now that Invoke surfaces
+							// drops and timeouts, the accepted op is exactly-
+							// once in the ingress and applies regardless — the
+							// same rule E18/E19 and tcabench use, keeping every
+							// driver on one audit baseline for identical
+							// streams.
+							if model == StatefulDataflow || err == nil {
+								audit.Record(op)
+							}
+							if op.Kind == workload.TPCCOrderStatus || op.Kind == workload.TPCCStockLevel {
+								queries++
+							}
+							sim += int64(tr.Total())
+							// Bound the eventual cell's in-flight choreography so the
+							// final settle stays within its timeout.
+							if model == StatefulDataflow && i%256 == 255 {
+								if err := cell.Settle(); err != nil {
+									b.Fatal(err)
+								}
 							}
 						}
-					}
-					if err := cell.Settle(); err != nil {
-						b.Fatal(err)
-					}
-					b.StopTimer()
-					anomalies, err := audit.Verify(cell)
-					if err != nil {
-						b.Fatal(err)
-					}
-					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
-					b.ReportMetric(float64(sim)/float64(b.N)/1e3, "sim-us/op")
-					b.ReportMetric(float64(len(anomalies)), "anomalies")
-				})
+						if err := cell.Settle(); err != nil {
+							b.Fatal(err)
+						}
+						b.StopTimer()
+						anomalies, err := audit.Verify(cell)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+						b.ReportMetric(float64(sim)/float64(b.N)/1e3, "sim-us/op")
+						b.ReportMetric(float64(len(anomalies)), "anomalies")
+						b.ReportMetric(100*float64(queries)/float64(b.N), "query-%")
+					})
+				}
 			}
 		}
 	}
@@ -836,10 +852,11 @@ func BenchmarkE18_MarketplaceMatrix(b *testing.B) {
 					args, _ := json.Marshal(op)
 					tr := fabric.NewTrace()
 					_, err := cell.Invoke(fmt.Sprintf("e18-%d", i), marketOpName(op), args, tr)
-					// The eventual cell acknowledges acceptance, so its ops
-					// are recorded unconditionally; its pipelined in-flight
-					// ops reading stale carts/prices is exactly the drift
-					// the audit then reports.
+					// The eventual cell's ops are recorded unconditionally
+					// (accepted ops apply even when Invoke reports a drop or
+					// timeout); its pipelined in-flight ops reading stale
+					// carts/prices is exactly the drift the audit then
+					// reports.
 					if model == StatefulDataflow || err == nil {
 						audit.Record(op)
 					}
@@ -1095,6 +1112,50 @@ func BenchmarkE16_CorePartitionScaling(b *testing.B) {
 					b.ReportMetric(100*float64(crossCommits)/float64(n), "cross-%")
 				}
 			})
+		}
+	}
+}
+
+// --- E20: the concurrency matrix -----------------------------------------------------------------
+
+// BenchmarkE20_ConcurrencyMatrix is the first experiment where the cells'
+// concurrency architectures are actually visible: all five cells, driven
+// through Sessions by workload.ClosedLoop at clients ∈ {1, 4, 16, 64}, on
+// the TPC-C and social mixes. Submission is pipelined (Cell.Submit; the
+// session caps in-flight depth), so the matrix separates the two events a
+// blocking Invoke conflates — accept-us/op is the time to acknowledgment
+// (a pool slot, a durable group append, an ingress produce) and
+// apply-us/op the time to application (saga completed, transaction
+// committed, choreography's result record landed). The per-cell shapes:
+// the synchronous cells scale until Options.Clients saturates their
+// blocking protocol (and the 2PL cell starts paying conflicts), the
+// deterministic core's group appends amortize the modeled 80µs durable
+// append across concurrent submissions — tx/s grows with client count on
+// a single log — and the dataflow cell accepts at a flat rate while its
+// apply latency absorbs the backlog. The auditors run against the serial
+// reference in completion order: the commutative social mix must stay
+// exact on every cell, while TPC-C's stock read-modify-writes expose the
+// unisolated cells (sagas, dataflow) as soon as clients > 1 — anomalies
+// the serial E17 driver could never provoke. The driver itself is
+// tca.RunConcurrencyCell, shared with cmd/tcabench.
+func BenchmarkE20_ConcurrencyMatrix(b *testing.B) {
+	for _, mix := range ConcurrencyMixes {
+		for _, clients := range []int{1, 4, 16, 64} {
+			for _, model := range allModels {
+				b.Run(fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), func(b *testing.B) {
+					b.ResetTimer()
+					res, err := RunConcurrencyCell(mix, model, clients, b.N)
+					b.StopTimer()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.Throughput(), "tx/s")
+					b.ReportMetric(float64(res.AcceptP50)/1e3, "accept-us/op")
+					b.ReportMetric(float64(res.ApplyP50)/1e3, "apply-us/op")
+					b.ReportMetric(float64(res.Rejected), "rejected")
+					b.ReportMetric(float64(len(res.Anomalies)), "anomalies")
+				})
+			}
 		}
 	}
 }

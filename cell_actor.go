@@ -16,11 +16,12 @@ type actorCell struct {
 	app   *App
 	sys   *actor.System
 	coord *actor.Coordinator
+	pool  *submitPool
 }
 
-func newActorCell(app *App, env *Env) *actorCell {
+func newActorCell(app *App, env *Env, opts Options) *actorCell {
 	sys := actor.NewSystem(env.Cluster, actor.Config{})
-	return &actorCell{app: app, sys: sys, coord: actor.NewCoordinator(sys)}
+	return &actorCell{app: app, sys: sys, coord: actor.NewCoordinator(sys), pool: newSubmitPool(opts.Clients)}
 }
 
 func (c *actorCell) ref(key string) actor.Ref {
@@ -69,7 +70,27 @@ func (c *actorCell) Guarantee() Guarantee {
 		Note: "Orleans-style 2PL+2PC: serializable but blocking and retry-heavy under contention"}
 }
 
+// Submit runs the actor transaction on the cell's bounded worker pool:
+// 2PL + 2PC is blocking per transaction, so pipelining is client-side
+// concurrency — and with it come the lock conflicts, wounds, and retries
+// the serial drivers never provoked. The handle resolves at commit (or
+// when retries exhaust).
+func (c *actorCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	return c.pool.submit(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+// Invoke is semantically Submit(...).Result() — TestInvokeIsSubmitResult
+// pins the equivalence — taking the pool's inline fast path for blocking
+// callers.
 func (c *actorCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return c.pool.invoke(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+func (c *actorCell) invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
 	op, ok := c.app.Op(opName)
 	if !ok {
 		return nil, opError(c.app, opName)

@@ -19,10 +19,11 @@ type coreCell struct {
 
 func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
 	rt := core.NewRuntime(env.Broker, core.Config{
-		Name:       "cell-" + app.Name(),
-		Cluster:    env.Cluster,
-		Partitions: opts.Partitions,
-		Workers:    opts.Workers,
+		Name:          "cell-" + app.Name(),
+		Cluster:       env.Cluster,
+		Partitions:    opts.Partitions,
+		Workers:       opts.Workers,
+		SequenceDelay: opts.SequenceDelay,
 	})
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)
@@ -65,18 +66,43 @@ func (c *coreCell) Guarantee() Guarantee {
 		Note: "deterministic transactional dataflow (Styx-like): serializable, log-ordered, no 2PC"}
 }
 
-func (c *coreCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+// Submit pipelines natively: the runtime acknowledges once the transaction
+// is durably appended — concurrent submissions share group log appends,
+// amortizing the modeled SequenceDelay — and the handle resolves when the
+// scheduled transaction commits. Handles survive Crash/Recover: the
+// request is already in the log, so replay resolves them exactly once.
+func (c *coreCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
 	op, ok := c.app.Op(opName)
 	if !ok {
-		return nil, opError(c.app, opName)
+		return resolvedHandle(nil, opError(c.app, opName))
 	}
 	if op.ReadOnly {
 		// Queries execute against a consistent cut of the committed MVCC
 		// view: no log append, no write-schedule slot, no conflict chain
-		// entry — the write pipeline never sees them.
+		// entry — the write pipeline never sees them. They run off the
+		// caller's goroutine so read-heavy clients still pipeline.
+		h := newOpHandle()
+		go func() {
+			h.resolve(c.rt.SubmitReadOnly(reqID, op.Name, c.app.keysOf(op, args), args, tr))
+		}()
+		return h
+	}
+	h, err := c.rt.SubmitAsync(reqID, op.Name, c.app.keysOf(op, args), args, tr)
+	if err != nil {
+		return resolvedHandle(nil, err)
+	}
+	return h
+}
+
+// Invoke is semantically Submit(...).Result() — TestInvokeIsSubmitResult
+// pins the equivalence. Read-only ops run inline (SubmitReadOnly is
+// already synchronous), skipping the pipelining goroutine a blocking
+// caller has no use for.
+func (c *coreCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	if op, ok := c.app.Op(opName); ok && op.ReadOnly {
 		return c.rt.SubmitReadOnly(reqID, op.Name, c.app.keysOf(op, args), args, tr)
 	}
-	return c.rt.Submit(reqID, op.Name, c.app.keysOf(op, args), args, tr)
+	return c.Submit(reqID, opName, args, tr).Result()
 }
 
 func (c *coreCell) Read(key string) ([]byte, bool, error) {

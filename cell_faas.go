@@ -14,12 +14,13 @@ import (
 // buffered and flushed only when the body succeeds, so a business failure
 // leaves no partial state. Invocation ids give exactly-once per op.
 type faasCell struct {
-	app *App
-	p   *faas.Platform
+	app  *App
+	p    *faas.Platform
+	pool *submitPool
 }
 
-func newFaasCell(app *App, env *Env) *faasCell {
-	c := &faasCell{app: app, p: faas.NewPlatform(env.Cluster, faas.DefaultConfig())}
+func newFaasCell(app *App, env *Env, opts Options) *faasCell {
+	c := &faasCell{app: app, p: faas.NewPlatform(env.Cluster, faas.DefaultConfig()), pool: newSubmitPool(opts.Clients)}
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)
 		c.p.Register(op.Name, func(ctx *faas.Ctx, payload []byte) ([]byte, error) {
@@ -104,7 +105,27 @@ func (c *faasCell) Guarantee() Guarantee {
 		Note: "Durable-Functions entities: explicit critical sections, dedup by op id; cold starts on the latency tail"}
 }
 
+// Submit runs the function invocation on the cell's bounded worker pool:
+// the platform's invocation path is synchronous (acquire the critical
+// section, run, commit buffered writes), so pipelining is client-side
+// concurrency — concurrent submissions on overlapping entities serialize
+// on the entity locks, which is the cell's honest contention behavior.
+func (c *faasCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	return c.pool.submit(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+// Invoke is semantically Submit(...).Result() — TestInvokeIsSubmitResult
+// pins the equivalence — taking the pool's inline fast path for blocking
+// callers.
 func (c *faasCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return c.pool.invoke(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+func (c *faasCell) invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
 	op, ok := c.app.Op(opName)
 	if !ok {
 		return nil, opError(c.app, opName)

@@ -27,6 +27,7 @@ type microCell struct {
 	app  *App
 	dep  *micro.Deployment
 	orch *saga.Orchestrator
+	pool *submitPool
 }
 
 // kvGetReq/kvApplyReq are the shard services' wire types. Apply either
@@ -61,7 +62,7 @@ type kvApplyResp struct {
 	PrevFound bool   `json:"prev_found"`
 }
 
-func newMicroCell(app *App, env *Env) *microCell {
+func newMicroCell(app *App, env *Env, opts Options) *microCell {
 	dep := micro.NewDeployment(env.Cluster)
 	for s := 0; s < microShards; s++ {
 		// Idempotency middleware makes retries of the non-idempotent
@@ -111,7 +112,7 @@ func newMicroCell(app *App, env *Env) *microCell {
 			return resp, err
 		}))
 	}
-	return &microCell{app: app, dep: dep, orch: saga.NewOrchestrator(nil)}
+	return &microCell{app: app, dep: dep, orch: saga.NewOrchestrator(nil), pool: newSubmitPool(opts.Clients)}
 }
 
 func shardService(app *App, shard int) string {
@@ -214,7 +215,27 @@ func (c *microCell) Guarantee() Guarantee {
 		Note: "saga over REST: compensations on failure, dirty reads mid-saga"}
 }
 
+// Submit runs the saga on the cell's bounded worker pool: the REST stack
+// is synchronous per request, so pipelining is client-side concurrency —
+// Options.Clients sagas in flight, each with its honest (un-isolated)
+// interleavings. The handle resolves when the saga completes or
+// compensates.
+func (c *microCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	return c.pool.submit(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+// Invoke is semantically Submit(...).Result() — TestInvokeIsSubmitResult
+// pins the equivalence — taking the pool's inline fast path for blocking
+// callers.
 func (c *microCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return c.pool.invoke(func() ([]byte, error) {
+		return c.invoke(reqID, opName, args, tr)
+	})
+}
+
+func (c *microCell) invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
 	op, ok := c.app.Op(opName)
 	if !ok {
 		return nil, opError(c.app, opName)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,13 @@ type statefunCell struct {
 	mu       sync.Mutex
 	probes   map[string]chan sfProbeResp
 
+	// resolvers holds the in-flight Submit handles by reqID, resolved when
+	// the choreography's result record lands on the egress. The egress
+	// callback is at-least-once, so resolution is remove-then-resolve (and
+	// the handle itself resolves idempotently).
+	resMu     sync.Mutex
+	resolvers map[string]sfPending
+
 	// handlerErrs counts handler invocations that returned an error —
 	// the cell's honest drop count, which the conformance tests pin to
 	// zero (in particular: statefun.ErrTooManySends must be unreachable
@@ -77,16 +85,52 @@ type sfProbeResp struct {
 	Found bool   `json:"f"`
 }
 
+// sfDone is the choreography's result record, emitted on the egress under
+// the key "done/<reqID>" when the txn function has run the body and
+// shipped the last write chunk. Err carries a body failure — the drop an
+// asynchronous cell could never report to its caller before Submit.
+type sfDone struct {
+	Val []byte `json:"v,omitempty"`
+	Err string `json:"e,omitempty"`
+}
+
+// sfPending pairs an in-flight handle with its trace (the result hop is
+// charged at resolution).
+type sfPending struct {
+	h  *opHandle
+	tr *fabric.Trace
+}
+
+// sfDonePrefix keys result records on the egress; sfResultTimeout bounds
+// how long a Submit handle waits for its result record. It is a hang
+// backstop, not a rejection policy — an accepted op is exactly-once in
+// the ingress and will still apply even if its handle times out — so the
+// bound is generous (3× Settle's quiesce timeout) to keep a deep
+// pipelined backlog on a loaded machine from resolving live handles
+// spuriously.
+const (
+	sfDonePrefix    = "done/"
+	sfResultTimeout = 30 * time.Second
+)
+
 const (
 	sfKeyFn = "key"
 	sfTxnFn = "txn"
 )
 
 func newStatefunCell(app *App, env *Env) (*statefunCell, error) {
-	c := &statefunCell{app: app, probes: make(map[string]chan sfProbeResp)}
+	c := &statefunCell{
+		app:       app,
+		probes:    make(map[string]chan sfProbeResp),
+		resolvers: make(map[string]sfPending),
+	}
 	sf := statefun.NewApp(env.Broker, statefun.Config{
 		Name: "cell-" + app.Name(), Parallelism: 2, Ingress: "cell-" + app.Name() + "-ingress",
 		OnEgress: func(key string, value []byte) {
+			if req, ok := strings.CutPrefix(key, sfDonePrefix); ok {
+				c.resolveDone(req, value)
+				return
+			}
 			var resp sfProbeResp
 			if json.Unmarshal(value, &resp) != nil {
 				return
@@ -133,6 +177,29 @@ func (c *statefunCell) trap(h statefun.Handler) statefun.Handler {
 func (c *statefunCell) handlerErrors() (int64, error) {
 	box, _ := c.lastHandlerErr.Load().(sfErrBox)
 	return c.handlerErrs.Load(), box.err
+}
+
+// resolveDone completes the in-flight handle whose result record landed.
+func (c *statefunCell) resolveDone(reqID string, value []byte) {
+	var out sfDone
+	if json.Unmarshal(value, &out) != nil {
+		return
+	}
+	c.resMu.Lock()
+	p, ok := c.resolvers[reqID]
+	if ok {
+		delete(c.resolvers, reqID)
+	}
+	c.resMu.Unlock()
+	if !ok {
+		return // duplicate delivery or an abandoned (timed-out) handle
+	}
+	p.tr.Charge(time.Millisecond / 2) // result record -> client
+	if out.Err != "" {
+		p.h.resolve(nil, fmt.Errorf("tca: statefun op dropped: %s", out.Err))
+		return
+	}
+	p.h.resolve(out.Val, nil)
 }
 
 // keyHandler owns one key's state (scoped under the function instance).
@@ -305,7 +372,14 @@ func (c *statefunCell) emitWrites(ctx *statefun.Ctx, writes []sfWrite) error {
 		}
 	}
 	if !chunked {
+		// Final round: every write is in its key's partition log (the sends
+		// above are exactly-once produces), so the result record emitted
+		// here orders after them — a read submitted once the handle
+		// resolves gathers a snapshot that includes this op's writes.
 		ctx.Del("pend")
+		res, _ := ctx.Get("res")
+		ctx.Del("res")
+		c.sendDone(ctx, res, nil)
 		return nil
 	}
 	rest, err := json.Marshal(writes[n:])
@@ -318,21 +392,42 @@ func (c *statefunCell) emitWrites(ctx *statefun.Ctx, writes []sfWrite) error {
 }
 
 // runBody executes the body over the gathered snapshot and sends its
-// writes to the key functions. Body errors drop the op (asynchronous cells
-// have no caller to report to — the honest FaaS/dataflow failure mode).
+// writes to the key functions. Body errors drop the op — the honest
+// dataflow failure mode — but the result record carries the error, so a
+// Submit handle (unlike the fire-and-forget ingress append of old) learns
+// about the drop.
 func (c *statefunCell) runBody(ctx *statefun.Ctx, op Op, args []byte, snapshot map[string][]byte) error {
 	tx := &sfTxn{snapshot: snapshot}
-	if _, err := op.Body(op.guard(tx), args); err != nil {
+	result, err := op.Body(op.guard(tx), args)
+	if err != nil {
+		c.sendDone(ctx, nil, err)
 		return nil
 	}
 	if op.ReadOnly {
 		// A query is answered by the read-gather phase itself: the body ran
 		// over the gathered snapshot and there is no write-emit round —
 		// half the choreography's messages, and the key functions never
-		// see the op.
+		// see the op. The result record is the answer.
+		c.sendDone(ctx, result, nil)
 		return nil
 	}
+	// The result rides in scoped state until the last write chunk ships:
+	// a chunked emit finishes in a later "flush" invocation, and the
+	// result record must order after every write.
+	ctx.Set("res", result)
 	return c.emitWrites(ctx, tx.writes)
+}
+
+// sendDone emits the choreography's result record on the egress. The txn
+// function instance is keyed by the reqID, so Self.ID addresses the
+// in-flight handle.
+func (c *statefunCell) sendDone(ctx *statefun.Ctx, val []byte, err error) {
+	out := sfDone{Val: val}
+	if err != nil {
+		out.Err = err.Error()
+	}
+	raw, _ := json.Marshal(out)
+	ctx.SendEgress(sfDonePrefix+ctx.Self.ID, raw)
 }
 
 // sfTxn runs a body over the choreography's gathered snapshot. Writes are
@@ -397,14 +492,61 @@ func (c *statefunCell) Guarantee() Guarantee {
 		Note: "exactly-once processing; NO isolation across functions (§4.2) — ops settle eventually"}
 }
 
-func (c *statefunCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+// Submit appends the op to the ingress — acceptance, one produce hop —
+// and the handle resolves when the choreography's result record lands on
+// the egress: the body ran over its gathered snapshot and the final write
+// chunk is durably in the key functions' partition logs. That is the
+// cell's honest accept/apply gap, now visible as two latency numbers per
+// request (E20). Per-key settlement of the writes still needs Settle;
+// the guarantee is unchanged.
+func (c *statefunCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
 	if _, ok := c.app.Op(opName); !ok {
-		return nil, opError(c.app, opName)
+		return resolvedHandle(nil, opError(c.app, opName))
 	}
+	h := newOpHandle()
+	c.resMu.Lock()
+	if prev, dup := c.resolvers[reqID]; dup {
+		// A retry of an in-flight request joins it instead of stranding
+		// the first handle: one choreography, one result record, every
+		// caller resolved by it. (Retries of *completed* requests
+		// re-execute — the cell has no result cache; its idempotence is
+		// per message, not per request, which Guarantee reports.) The
+		// retry's own produce hop is charged here; the result hop lands
+		// on the first caller's trace, where the result record resolves.
+		c.resMu.Unlock()
+		tr.Charge(time.Millisecond / 2)
+		return prev.h
+	}
+	c.resolvers[reqID] = sfPending{h: h, tr: tr}
+	c.resMu.Unlock()
 	payload, _ := json.Marshal(sfMsg{Kind: "op", Req: reqID, Op: opName, Args: args})
-	// Asynchronous: acceptance, not completion.
-	tr.Charge(time.Millisecond / 2) // one produce hop
-	return nil, c.sf.SendToIngress(statefun.Ref{Type: sfTxnFn, ID: reqID}, payload)
+	tr.Charge(time.Millisecond / 2) // acceptance: one produce hop
+	if err := c.sf.SendToIngress(statefun.Ref{Type: sfTxnFn, ID: reqID}, payload); err != nil {
+		c.resMu.Lock()
+		delete(c.resolvers, reqID)
+		c.resMu.Unlock()
+		h.resolve(nil, err)
+		return h
+	}
+	// Watchdog: a result record that never lands (the cell stopped, a
+	// poison payload) must not hang the handle forever.
+	go func() {
+		timer := time.NewTimer(sfResultTimeout)
+		defer timer.Stop()
+		select {
+		case <-h.done:
+		case <-timer.C:
+			c.resMu.Lock()
+			delete(c.resolvers, reqID)
+			c.resMu.Unlock()
+			h.resolve(nil, errors.New("tca: statefun result timeout"))
+		}
+	}()
+	return h
+}
+
+func (c *statefunCell) Invoke(reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return c.Submit(reqID, opName, args, tr).Result()
 }
 
 // Read settles, then probes the key function's scoped state through the

@@ -53,7 +53,7 @@ func (r *reporter) add(exp, row string, m map[string]float64) {
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20 (or all)")
 	jsonOut := flag.Bool("json", false,
 		"emit a machine-readable JSON summary on stdout instead of tables")
 	flag.Parse()
@@ -69,6 +69,7 @@ func main() {
 		{"e17", runE17},
 		{"e18", runE18},
 		{"e19", runE19},
+		{"e20", runE20},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -78,7 +79,7 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -306,24 +307,28 @@ func runMatrixCell(cell tca.Cell, ops int,
 // runE17 prints the TPC-C taxonomy matrix: the same seeded
 // NewOrder/Payment stream under every programming model through the
 // application layer (tca.App), with the integrity-constraint audit per
-// cell — swept over the cross-warehouse rate, the app-level counterpart
-// of E16's cross-partition ratio.
+// cell — swept over the cross-warehouse rate (the app-level counterpart
+// of E16's cross-partition ratio) and the query rate (TPCCConfig.
+// QueryFrac: the standard's OrderStatus/StockLevel on every cell's
+// ReadOnly fast path — the matrix's read-path column).
 func runE17(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E17: TPC-C matrix — one tca.App, every programming model, audited invariants")
-	fmt.Fprintln(w, "model\twh\tremote\ttx/s\tsim-p50\tsim-p99\tanomalies")
+	fmt.Fprintln(w, "model\twh\tremote\tquery\ttx/s\tsim-p50\tsim-p99\tanomalies")
 	for _, sweep := range []struct {
 		warehouses int
 		remotePct  int
+		queryPct   int
 	}{
-		{1, 0}, {4, 0}, {4, 50},
+		{1, 0, 0}, {4, 0, 0}, {4, 50, 0}, {4, 0, 30},
 	} {
 		cfg := workload.DefaultTPCCConfig(sweep.warehouses)
 		cfg.RemoteFrac = workload.RemoteFrac(float64(sweep.remotePct) / 100)
+		cfg.QueryFrac = float64(sweep.queryPct) / 100
 		for _, model := range allModels {
 			env := tca.NewEnv(1, 3)
 			cell, err := tca.Deploy(model, tca.TPCCApp(), env)
 			if err != nil {
-				fmt.Fprintf(w, "%v\t%d\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, err)
+				fmt.Fprintf(w, "%v\t%d\t%d%%\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, sweep.queryPct, err)
 				continue
 			}
 			gen := workload.NewTPCC(11, cfg)
@@ -343,13 +348,13 @@ func runE17(w *tabwriter.Writer, rep *reporter, ops int) {
 				func() ([]string, error) { return audit.Verify(cell) },
 			)
 			if err != nil {
-				fmt.Fprintf(w, "%v\t%d\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, err)
+				fmt.Fprintf(w, "%v\t%d\t%d%%\t%d%%\terror: %v\n", model, sweep.warehouses, sweep.remotePct, sweep.queryPct, err)
 				cell.Close()
 				continue
 			}
-			fmt.Fprintf(w, "%v\t%d\t%d%%\t%.0f\t%v\t%v\t%d\n",
-				model, sweep.warehouses, sweep.remotePct, rate, p50, p99, anomalies)
-			rep.add("e17", fmt.Sprintf("%s/wh=%d/remote=%d%%", model, sweep.warehouses, sweep.remotePct),
+			fmt.Fprintf(w, "%v\t%d\t%d%%\t%d%%\t%.0f\t%v\t%v\t%d\n",
+				model, sweep.warehouses, sweep.remotePct, sweep.queryPct, rate, p50, p99, anomalies)
+			rep.add("e17", fmt.Sprintf("%s/wh=%d/remote=%d%%/query=%d%%", model, sweep.warehouses, sweep.remotePct, sweep.queryPct),
 				map[string]float64{
 					"tx_s":       rate,
 					"sim_p50_us": float64(p50) / 1e3,
@@ -508,6 +513,43 @@ func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
 				"anomalies":  float64(anomalies),
 			})
 			cell.Close()
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// runE20 prints the concurrency matrix: every cell driven through
+// pipelined client Sessions (Cell.Submit) by workload.ClosedLoop at
+// rising client counts, on the TPC-C and social mixes, via the shared
+// driver tca.RunConcurrencyCell (the same code path as
+// BenchmarkE20_ConcurrencyMatrix, so the two surfaces cannot drift).
+// Reports pipelined throughput, the accept-vs-apply latency split
+// (acknowledged is not applied on the log-based cells), rejected
+// submissions, and auditor anomalies — the write skew the unisolated
+// cells show as soon as real concurrency exists.
+func runE20(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E20: concurrency matrix — pipelined Sessions, accept vs apply latency, audited")
+	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s\taccept-p50\tapply-p50\trejected\tanomalies")
+	for _, mix := range tca.ConcurrencyMixes {
+		for _, clients := range []int{1, 4, 16, 64} {
+			for _, model := range allModels {
+				res, err := tca.RunConcurrencyCell(mix, model, clients, ops)
+				if err != nil {
+					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
+					continue
+				}
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%v\t%v\t%d\t%d\n",
+					mix, model, clients, res.Throughput(),
+					res.AcceptP50.Round(time.Microsecond), res.ApplyP50.Round(time.Microsecond),
+					res.Rejected, len(res.Anomalies))
+				rep.add("e20", fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), map[string]float64{
+					"tx_s":          res.Throughput(),
+					"accept_p50_us": float64(res.AcceptP50) / 1e3,
+					"apply_p50_us":  float64(res.ApplyP50) / 1e3,
+					"rejected":      float64(res.Rejected),
+					"anomalies":     float64(len(res.Anomalies)),
+				})
+			}
 		}
 	}
 	fmt.Fprintln(w)

@@ -1,0 +1,166 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tca/internal/metrics"
+	"tca/internal/workload"
+)
+
+// The E20 concurrency-matrix driver, shared by the bench suite
+// (BenchmarkE20_ConcurrencyMatrix) and cmd/tcabench so the two surfaces
+// can never report different numbers for the same experiment: one cell =
+// one (mix, model, clients) triple, driven through pipelined client
+// Sessions by workload.ClosedLoop.
+
+// ConcurrencyMixes are the workloads the matrix sweeps: the TPC-C
+// NewOrder/Payment mix (order-confluent state — concurrency anomalies are
+// isolation failures) and the social compose-post mix (fully commutative
+// — any divergence is a delivery failure).
+var ConcurrencyMixes = []string{"tpcc", "social"}
+
+// ConcurrencyResult is one cell of the concurrency matrix.
+type ConcurrencyResult struct {
+	// Issued counts submissions; Rejected those whose handles resolved
+	// with an error (business aborts, exhausted 2PL retries).
+	Issued, Rejected int64
+	// Elapsed spans first submission to settled state.
+	Elapsed time.Duration
+	// AcceptP50 is the median Session.Submit-to-acknowledgment time,
+	// ApplyP50 the median Submit-to-Handle-resolution time — the per-cell
+	// accept/apply split.
+	AcceptP50, ApplyP50 time.Duration
+	// Anomalies are the auditor's divergences from the serial reference.
+	Anomalies []string
+}
+
+// Throughput returns applied (accepted and not rejected) ops per second.
+func (r ConcurrencyResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Issued-r.Rejected) / r.Elapsed.Seconds()
+}
+
+// concClient is one simulated user: a Session on the cell plus its own
+// seeded stream. ClosedLoop's shared op closure checks a client out of a
+// pool, so each driver goroutine effectively owns one.
+type concClient struct {
+	sess *Session
+	next func() (name string, args []byte, record func())
+}
+
+// RunConcurrencyCell deploys the mix's App under model and drives it with
+// `clients` pipelined Sessions for ~ops total submissions. The cell gets
+// Options.Clients = clients (the sync cells' worker pool), 32 core
+// workers, and the modeled 80µs durable-append latency (E16's figure) —
+// what the deterministic cell's group appends amortize. Ops are audited
+// against the serial reference in completion order: both mixes' state
+// models are commutative or order-confluent, so divergence is an
+// isolation or delivery anomaly, not reorder noise. The eventual cell
+// records unconditionally (an accepted op is exactly-once in the ingress
+// and applies even if its handle reports a drop or timeout); every other
+// cell records applied ops only — the same baseline rule as E17/E18/E19.
+func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (ConcurrencyResult, error) {
+	env := NewEnv(1, 3)
+	opts := Options{Clients: clients, Workers: 32, SequenceDelay: 80 * time.Microsecond}
+	var app *App
+	switch mix {
+	case "tpcc":
+		app = TPCCApp()
+	case "social":
+		app = SocialApp()
+	default:
+		return ConcurrencyResult{}, fmt.Errorf("tca: unknown concurrency mix %q", mix)
+	}
+	cell, err := DeployWith(model, app, env, opts)
+	if err != nil {
+		return ConcurrencyResult{}, err
+	}
+	defer cell.Close()
+
+	var auditMu sync.Mutex
+	tpccAudit := NewTPCCAuditor()
+	socialAudit := NewSocialAuditor()
+	pool := make(chan *concClient, clients)
+	for c := 0; c < clients; c++ {
+		cl := &concClient{sess: NewSession(cell, fmt.Sprintf("c%d", c), SessionOptions{MaxInFlight: 8})}
+		if mix == "tpcc" {
+			gen := workload.NewTPCC(int64(100+c), workload.DefaultTPCCConfig(4))
+			cl.next = func() (string, []byte, func()) {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				return tpccOpName(op), args, func() {
+					auditMu.Lock()
+					tpccAudit.Record(op)
+					auditMu.Unlock()
+				}
+			}
+		} else {
+			gen := workload.NewSocial(int64(100+c), 128, 16)
+			cl.next = func() (string, []byte, func()) {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				return SocialOpName(op), args, func() {
+					auditMu.Lock()
+					socialAudit.Record(op)
+					auditMu.Unlock()
+				}
+			}
+		}
+		pool <- cl
+	}
+
+	acceptHist, applyHist := metrics.NewHistogram(), metrics.NewHistogram()
+	var rejected atomic.Int64
+	var inflight sync.WaitGroup
+	start := time.Now()
+	res := workload.ClosedLoop(clients, ops/clients+1, 0, func() error {
+		cl := <-pool
+		defer func() { pool <- cl }()
+		name, args, record := cl.next()
+		t0 := time.Now()
+		h := cl.sess.Submit(name, args, nil)
+		acceptHist.RecordDuration(time.Since(t0))
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			<-h.Done()
+			applyHist.RecordDuration(time.Since(t0))
+			_, opErr := h.Result()
+			if opErr != nil {
+				rejected.Add(1)
+			}
+			if opErr == nil || model == StatefulDataflow {
+				record()
+			}
+		}()
+		return nil
+	})
+	inflight.Wait()
+	if err := cell.Settle(); err != nil {
+		return ConcurrencyResult{}, err
+	}
+	elapsed := time.Since(start)
+	var anomalies []string
+	if mix == "tpcc" {
+		anomalies, err = tpccAudit.Verify(cell)
+	} else {
+		anomalies, err = socialAudit.Verify(cell)
+	}
+	if err != nil {
+		return ConcurrencyResult{}, err
+	}
+	return ConcurrencyResult{
+		Issued:    res.Issued,
+		Rejected:  rejected.Load(),
+		Elapsed:   elapsed,
+		AcceptP50: time.Duration(acceptHist.Snapshot().P50),
+		ApplyP50:  time.Duration(applyHist.Snapshot().P50),
+		Anomalies: anomalies,
+	}, nil
+}

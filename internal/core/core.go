@@ -164,10 +164,13 @@ type Config struct {
 	// order-stamping one record at a log partition — the fsync/replication
 	// await of a real durable log (cf. store.Config.ServiceTime, which
 	// models CPU-bound database work by spinning; an append await leaves
-	// the CPU free, so it sleeps). It is paid serially within a partition's
-	// scheduler loop, and per cross-partition record at the global
-	// sequencer, but overlaps across partitions — the latency sharding
-	// hides, which E16 measures. Zero (the default) disables the model.
+	// the CPU free, so it sleeps). It is paid serially at each partition's
+	// appender (the group-append batcher: submissions arriving while an
+	// append is in flight join the next group and split one record's
+	// delay — the group-commit amortization E20 measures) and per
+	// cross-partition record at the global sequencer, but overlaps across
+	// partitions — the latency sharding hides, which E16 measures. Zero
+	// (the default) disables the model.
 	SequenceDelay time.Duration
 	// ResultTimeout bounds Submit waits. Zero means 10s.
 	ResultTimeout time.Duration
@@ -185,13 +188,30 @@ type Result struct {
 
 // request is the input-log wire format. GSeq is zero for transactions
 // appended directly to their home partition; the sequencer stamps
-// cross-partition markers with their global sequence offset + 1.
+// cross-partition markers with their global sequence offset + 1. A group
+// append (SubmitAsync batching concurrent submissions) carries its member
+// transactions in Batch instead — one log record, many transactions, one
+// SequenceDelay: the amortization that makes pipelined clients scale the
+// log's serial append rate.
 type request struct {
-	ReqID string   `json:"r"`
-	Fn    string   `json:"f"`
-	Keys  []string `json:"k"`
-	Args  []byte   `json:"a"`
-	GSeq  int64    `json:"g,omitempty"`
+	ReqID string    `json:"r,omitempty"`
+	Fn    string    `json:"f,omitempty"`
+	Keys  []string  `json:"k,omitempty"`
+	Args  []byte    `json:"a,omitempty"`
+	GSeq  int64     `json:"g,omitempty"`
+	Batch []request `json:"b,omitempty"`
+}
+
+// maxGroupAppend bounds how many concurrent submissions one group append
+// may carry (matching the executors' fetch batch).
+const maxGroupAppend = 128
+
+// pendingSubmit is one submission waiting for its group append. acked is
+// buffered so a batcher shutting down never blocks on a submitter that
+// already gave up.
+type pendingSubmit struct {
+	req   request
+	acked chan error
 }
 
 // crossTxn gathers one cross-partition transaction while the involved
@@ -253,6 +273,7 @@ type Runtime struct {
 	stop     chan struct{}
 	wakes    []chan struct{} // poked by Submit so executors needn't poll
 	seqWake  chan struct{}
+	batchCh  []chan *pendingSubmit // per-partition group-append queues
 	wg       sync.WaitGroup
 	inflight sync.WaitGroup
 
@@ -409,11 +430,32 @@ func (r *Runtime) Start() error {
 		r.seqMu.Unlock()
 	}
 	r.ckMu.Unlock()
+	// Handles registered before a crash survive it (they are client-side
+	// state): deliver any whose result the restored checkpoint already
+	// holds — replay re-executes the rest and delivers them the normal
+	// way. Each waiter is removed when notified, so a handle resolves
+	// exactly once across any number of crash/recovery cycles.
+	r.resMu.Lock()
+	for reqID, ws := range r.waiters {
+		if res, ok := r.results[reqID]; ok {
+			delete(r.waiters, reqID)
+			for _, w := range ws {
+				w <- res
+			}
+		}
+	}
+	r.resMu.Unlock()
 	r.stop = make(chan struct{})
+	// Fresh group-append queues per incarnation: a submission stranded in
+	// a dead incarnation's queue already failed its caller via the closed
+	// stop channel and must not be appended by the next incarnation.
+	r.batchCh = make([]chan *pendingSubmit, r.nparts)
 	r.running = true
 	for p := 0; p < r.nparts; p++ {
-		r.wg.Add(1)
+		r.batchCh[p] = make(chan *pendingSubmit, maxGroupAppend)
+		r.wg.Add(2)
 		go r.runExecutor(p, r.stop)
+		go r.runBatcher(p, r.batchCh[p], r.stop)
 	}
 	if r.nparts > 1 {
 		r.wg.Add(1)
@@ -448,11 +490,12 @@ func (r *Runtime) wake(part int) {
 	}
 }
 
-// pace throttles a log-consuming loop to one record per SequenceDelay,
-// modeling the serial durable-append/ordering latency of a real log
-// partition. Owed delay accumulates and is slept in quanta of at least a
-// millisecond — group-commit style — so coarse OS timer granularity cannot
-// distort the modeled rate; measured oversleep is credited back.
+// pace throttles an appending loop (the partition batchers, the global
+// sequencer) to one record per SequenceDelay, modeling the serial
+// durable-append/ordering latency of a real log partition. Owed delay
+// accumulates and is slept in quanta of at least a millisecond —
+// group-commit style — so coarse OS timer granularity cannot distort the
+// modeled rate; measured oversleep is credited back.
 func (r *Runtime) pace(owed time.Duration, records int) time.Duration {
 	owed += r.cfg.SequenceDelay * time.Duration(records)
 	if owed >= time.Millisecond {
@@ -466,10 +509,12 @@ func (r *Runtime) pace(owed time.Duration, records int) time.Duration {
 // runExecutor consumes one input-log partition in order and schedules its
 // transactions. One loop per partition is the parallelism sharding buys:
 // decoding and scheduling of disjoint partitions never serializes behind a
-// single goroutine.
+// single goroutine. The consumption itself is unpaced: SequenceDelay was
+// already paid when each record was appended (batcher or sequencer), and
+// a recovery replay reads the local log without re-paying the append —
+// which is also why replay outruns original ingestion.
 func (r *Runtime) runExecutor(part int, stop chan struct{}) {
 	defer r.wg.Done()
-	var owed time.Duration
 	for {
 		select {
 		case <-stop:
@@ -485,9 +530,6 @@ func (r *Runtime) runExecutor(part int, stop chan struct{}) {
 			case <-time.After(time.Millisecond):
 			}
 			continue
-		}
-		if r.cfg.SequenceDelay > 0 {
-			owed = r.pace(owed, len(msgs))
 		}
 		for _, m := range msgs {
 			r.schedule(part, m.Offset, m.Value, stop)
@@ -571,14 +613,92 @@ func (r *Runtime) sequenceOne(producerID string, m mq.Message) {
 	r.m.Counter("core.cross_sequenced").Inc()
 }
 
-// schedule routes one log entry: entries whose keys span partitions are
-// cross-partition markers written by the sequencer; everything else is a
-// home-partition transaction scheduled exactly as in the single-log
-// runtime.
+// runBatcher is the partition's appender: it turns concurrent submissions
+// into group log appends. Each appended record pays the modeled
+// SequenceDelay serially (pace; the fsync/replication await of a real
+// log), and submissions arriving while that pay is in flight join the
+// current group — classic group commit. A group of N concurrent
+// submissions therefore costs one record's delay instead of N, which is
+// why the deterministic cell's throughput grows with client count in E20.
+// A group of one keeps the legacy single-request record shape.
+func (r *Runtime) runBatcher(part int, ch chan *pendingSubmit, stop chan struct{}) {
+	defer r.wg.Done()
+	var owed time.Duration
+	for {
+		var first *pendingSubmit
+		select {
+		case <-stop:
+			// Fail-ack anything still queued so no submitter blocks on a
+			// dead incarnation.
+			for {
+				select {
+				case ps := <-ch:
+					ps.acked <- ErrNotRunning
+				default:
+					return
+				}
+			}
+		case first = <-ch:
+		}
+		batch := []*pendingSubmit{first}
+		// The durable append ahead of this group: pay one record's delay,
+		// then sweep in everything that queued while it was in flight.
+		if r.cfg.SequenceDelay > 0 {
+			owed = r.pace(owed, 1)
+		}
+	drain:
+		for len(batch) < maxGroupAppend {
+			select {
+			case ps := <-ch:
+				batch = append(batch, ps)
+			default:
+				break drain
+			}
+		}
+		var raw []byte
+		var err error
+		if len(batch) == 1 {
+			raw, err = json.Marshal(batch[0].req)
+		} else {
+			reqs := make([]request, len(batch))
+			for i, ps := range batch {
+				reqs[i] = ps.req
+			}
+			raw, err = json.Marshal(request{Batch: reqs})
+			r.m.Counter("core.group_appends").Inc()
+			r.m.Counter("core.grouped_txns").Add(int64(len(batch)))
+		}
+		if err == nil {
+			_, err = r.broker.Produce(r.logTopic(part), "", raw)
+		}
+		for _, ps := range batch {
+			ps.acked <- err
+		}
+		if err == nil {
+			r.wake(part)
+		}
+	}
+}
+
+// schedule routes one log entry: group appends are unpacked into their
+// member transactions in record order (so chain order still equals log
+// order); entries whose keys span partitions are cross-partition markers
+// written by the sequencer; everything else is a home-partition
+// transaction scheduled exactly as in the single-log runtime.
 func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) {
 	var req request
 	if err := json.Unmarshal(raw, &req); err != nil {
 		r.m.Counter("core.poison").Inc()
+		return
+	}
+	if len(req.Batch) > 0 {
+		// Members of a group append share the record's transaction id; they
+		// were all single-partition submissions homed here, and replay
+		// unpacks the identical record identically.
+		tid := off*int64(r.nparts) + int64(part)
+		for i := range req.Batch {
+			r.scheduleSingle(part, tid, req.Batch[i], stop)
+		}
 		return
 	}
 	parts := r.partitionsOf(req.Keys)
@@ -773,6 +893,61 @@ func (r *Runtime) execute(tid int64, req request, part int) {
 	}
 }
 
+// Handle is an in-flight asynchronous submission (SubmitAsync). Done
+// closes when the scheduled transaction has committed or aborted — the
+// "applied" event, as opposed to the durable-append acknowledgment
+// SubmitAsync's return represents. A handle survives Crash/Recover: the
+// request is already in the log when the handle exists, so replay
+// re-executes (or the restored checkpoint re-delivers) it, and the handle
+// resolves exactly once.
+type Handle struct {
+	ch       chan Result
+	done     chan struct{}
+	timeout  time.Duration
+	rt       *Runtime
+	tr       *fabric.Trace
+	reqID    string
+	res      Result
+	timedOut bool
+}
+
+// watch waits for the executor's result delivery (bounded by the
+// runtime's ResultTimeout) and completes the handle. A timed-out handle
+// unregisters its waiter so abandoned registrations cannot accumulate
+// across the runtime's lifetime.
+func (h *Handle) watch() {
+	timer := time.NewTimer(h.timeout)
+	defer timer.Stop()
+	select {
+	case res := <-h.ch:
+		h.res = res
+		h.rt.chargeHop(h.tr) // result -> client
+	case <-timer.C:
+		h.timedOut = true
+		h.rt.dropWaiter(h.reqID, h.ch)
+	}
+	close(h.done)
+}
+
+// Done is closed when the transaction has committed or aborted.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result blocks for completion and returns the transaction's outcome.
+func (h *Handle) Result() ([]byte, error) {
+	<-h.done
+	if h.timedOut {
+		return nil, ErrTimeout
+	}
+	return resultOut(h.res)
+}
+
+// resolvedHandle wraps an already-known result (dedup fast path).
+func resolvedHandle(res Result) *Handle {
+	h := &Handle{done: make(chan struct{}), res: res}
+	close(h.done)
+	return h
+}
+
 // Submit appends a transaction to its home partition (or, when its declared
 // keys span partitions, to the global sequence topic) and waits for its
 // result. reqID makes the call idempotent: resubmitting (a client retry)
@@ -780,8 +955,23 @@ func (r *Runtime) execute(tid int64, req request, part int) {
 // the sequencer and back) are charged to tr — compare with the 2PC hop
 // count.
 func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	h, err := r.SubmitAsync(reqID, fn, keys, args, tr)
+	if err != nil {
+		return nil, err
+	}
+	return h.Result()
+}
+
+// SubmitAsync is the pipelined Submit: it returns once the transaction is
+// durably appended — concurrent submissions to the same partition share a
+// group log append, amortizing SequenceDelay — and the Handle resolves
+// when the scheduled transaction commits. The two events are the
+// deterministic cell's honest accept-vs-apply split: acknowledgment is
+// the append, application is the commit, and E20 reports them as two
+// latency numbers per request.
+func (r *Runtime) SubmitAsync(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) (*Handle, error) {
 	r.runMu.Lock()
-	running := r.running
+	running, stop, batches := r.running, r.stop, r.batchCh
 	r.runMu.Unlock()
 	if !running {
 		return nil, ErrNotRunning
@@ -792,24 +982,44 @@ func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabri
 	if res, ok := r.results[reqID]; ok {
 		r.resMu.Unlock()
 		r.m.Counter("core.dedup_hits").Inc()
-		return resultOut(res)
+		r.chargeHop(tr) // cached result -> client
+		return resolvedHandle(res), nil
 	}
 	ch := make(chan Result, 1)
 	r.waiters[reqID] = append(r.waiters[reqID], ch)
 	r.resMu.Unlock()
-
-	raw, err := json.Marshal(request{ReqID: reqID, Fn: fn, Keys: keys, Args: args})
-	if err != nil {
+	// Every failure past this point must unregister the waiter: the
+	// request never reached the log, so nothing will ever deliver it —
+	// and Crash deliberately preserves waiters, so a leaked one would
+	// outlive every recovery.
+	fail := func(err error) (*Handle, error) {
+		r.dropWaiter(reqID, ch)
 		return nil, err
 	}
+
+	req := request{ReqID: reqID, Fn: fn, Keys: keys, Args: args}
 	if parts := r.partitionsOf(keys); len(parts) == 1 {
-		if _, err := r.broker.Produce(r.logTopic(parts[0]), reqID, raw); err != nil {
-			return nil, err
+		ps := &pendingSubmit{req: req, acked: make(chan error, 1)}
+		select {
+		case batches[parts[0]] <- ps:
+		case <-stop:
+			return fail(ErrNotRunning)
 		}
-		r.wake(parts[0])
+		select {
+		case err := <-ps.acked:
+			if err != nil {
+				return fail(err)
+			}
+		case <-stop:
+			return fail(ErrNotRunning)
+		}
 	} else {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return fail(err)
+		}
 		if _, err := r.broker.Produce(r.seqTopic(), reqID, raw); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		r.m.Counter("core.cross_submits").Inc()
 		select {
@@ -817,14 +1027,28 @@ func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabri
 		default:
 		}
 	}
-	timer := time.NewTimer(r.cfg.ResultTimeout)
-	defer timer.Stop()
-	select {
-	case res := <-ch:
-		r.chargeHop(tr) // result -> client
-		return resultOut(res)
-	case <-timer.C:
-		return nil, ErrTimeout
+	h := &Handle{ch: ch, done: make(chan struct{}), timeout: r.cfg.ResultTimeout, rt: r, tr: tr, reqID: reqID}
+	go h.watch()
+	return h, nil
+}
+
+// dropWaiter unregisters one waiter channel for reqID (submission failure
+// or handle timeout). The channel is buffered, so a delivery racing the
+// drop is absorbed rather than lost or blocking the executor.
+func (r *Runtime) dropWaiter(reqID string, ch chan Result) {
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	ws := r.waiters[reqID]
+	for i, w := range ws {
+		if w == ch {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(r.waiters, reqID)
+	} else {
+		r.waiters[reqID] = ws
 	}
 }
 
@@ -1058,7 +1282,9 @@ func (r *Runtime) Crash() {
 	r.stateMu.Unlock()
 	r.resMu.Lock()
 	r.results = make(map[string]Result)
-	r.waiters = make(map[string][]chan Result)
+	// waiters survive the crash: they are client-side handles for requests
+	// already durably in the log. Recovery re-delivers them (Start) or
+	// replay re-executes and delivers normally — exactly once either way.
 	r.scheduled = make(map[string]struct{})
 	r.resMu.Unlock()
 	r.schedMu.Lock()

@@ -3,7 +3,9 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tca/internal/metrics"
@@ -38,8 +40,7 @@ func (r DriverResult) Throughput() float64 {
 // rate drops with it, hiding saturation from the latency distribution.
 func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverResult {
 	hist := metrics.NewHistogram()
-	var errs int64
-	var errMu sync.Mutex
+	var errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -51,9 +52,7 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 				err := op()
 				hist.RecordDuration(time.Since(t0))
 				if err != nil {
-					errMu.Lock()
-					errs++
-					errMu.Unlock()
+					errs.Add(1)
 				}
 				if think > 0 {
 					time.Sleep(think)
@@ -64,7 +63,7 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 	wg.Wait()
 	return DriverResult{
 		Issued:  int64(clients * opsPerClient),
-		Errors:  errs,
+		Errors:  errs.Load(),
 		Elapsed: time.Since(start),
 		Latency: hist.Snapshot(),
 	}
@@ -78,8 +77,7 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
 	rng := rand.New(rand.NewSource(seed))
 	hist := metrics.NewHistogram()
-	var errs int64
-	var errMu sync.Mutex
+	var errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	next := start
@@ -97,16 +95,14 @@ func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
 			err := op()
 			hist.RecordDuration(time.Since(scheduled))
 			if err != nil {
-				errMu.Lock()
-				errs++
-				errMu.Unlock()
+				errs.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	return DriverResult{
 		Issued:  int64(n),
-		Errors:  errs,
+		Errors:  errs.Load(),
 		Elapsed: time.Since(start),
 		Latency: hist.Snapshot(),
 	}
@@ -114,13 +110,16 @@ func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
 
 // SpinService returns an Op that busy-spins for d with at most c
 // concurrent executions — a stand-in server with capacity c/d ops/sec,
-// used by the load-model experiments.
+// used by the load-model experiments. The spin yields the processor each
+// turn so a fleet of driver goroutines parked here cannot starve the cell
+// goroutines (executors, choreographies) they share the runtime with.
 func SpinService(c int, d time.Duration) Op {
 	slots := make(chan struct{}, c)
 	return func() error {
 		slots <- struct{}{}
 		end := time.Now().Add(d)
 		for time.Now().Before(end) {
+			runtime.Gosched()
 		}
 		<-slots
 		return nil

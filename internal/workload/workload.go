@@ -125,6 +125,14 @@ type TPCCConfig struct {
 	// knob to tie the app-level matrix to E16's cross-partition scaling
 	// curve.
 	RemoteFrac *float64
+	// QueryFrac is the fraction of the stream that is the standard's query
+	// transactions — OrderStatus and StockLevel, alternating by a fair
+	// draw — which TPCCApp declares ReadOnly, so they ride every cell's
+	// query fast path. Zero (the default) keeps the pure write mix *and*
+	// the exact pre-knob rng stream: the query draw only happens when the
+	// fraction is positive, like SocialGen's churn draw. E17 sweeps this
+	// knob for the matrix's read-path column.
+	QueryFrac float64
 }
 
 // RemoteFrac boxes a cross-warehouse rate for TPCCConfig.RemoteFrac.
@@ -169,6 +177,11 @@ func NewTPCC(seed int64, cfg TPCCConfig) *TPCCGen {
 
 // Next returns the next transaction descriptor.
 func (g *TPCCGen) Next() TPCCOp {
+	// The query draw only happens when queries are enabled, so QueryFrac=0
+	// generators keep the exact rng stream of the write-only workload.
+	if g.cfg.QueryFrac > 0 && g.rng.Float64() < g.cfg.QueryFrac {
+		return g.nextQuery()
+	}
 	op := TPCCOp{
 		Warehouse: g.rng.Intn(g.cfg.Warehouses),
 		District:  g.rng.Intn(g.cfg.Districts),
@@ -209,6 +222,31 @@ func (g *TPCCGen) Next() TPCCOp {
 		if op.Remote {
 			op.RemoteWarehouse = w
 		}
+	}
+	return op
+}
+
+// nextQuery draws one of the standard's query transactions: OrderStatus
+// (the customer's balance and order count) or StockLevel (how many of a
+// district's recently touched items sit below a threshold drawn uniformly
+// in 10..20, per the standard). Queries are home-warehouse only, matching
+// the standard's terminal model.
+func (g *TPCCGen) nextQuery() TPCCOp {
+	op := TPCCOp{
+		Warehouse: g.rng.Intn(g.cfg.Warehouses),
+		District:  g.rng.Intn(g.cfg.Districts),
+		Customer:  g.rng.Intn(g.cfg.Customers),
+	}
+	if g.rng.Float64() < 0.5 {
+		op.Kind = TPCCOrderStatus
+		return op
+	}
+	op.Kind = TPCCStockLevel
+	op.Threshold = int64(10 + g.rng.Intn(11))
+	n := 5 + g.rng.Intn(11) // inspect 5..15 items, like a NewOrder's lines
+	op.Items = make([]TPCCItem, n)
+	for i := range op.Items {
+		op.Items[i] = TPCCItem{ItemID: g.rng.Intn(g.cfg.Items)}
 	}
 	return op
 }

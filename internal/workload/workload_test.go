@@ -228,6 +228,65 @@ func TestTPCCRemoteFracDoesNotPerturbStream(t *testing.T) {
 	}
 }
 
+func TestTPCCQueryFracMix(t *testing.T) {
+	// QueryFrac makes that fraction of the stream the standard's query
+	// transactions, split between OrderStatus and StockLevel; StockLevel
+	// descriptors carry items to inspect and a threshold in 10..20.
+	cfg := DefaultTPCCConfig(2)
+	cfg.QueryFrac = 0.30
+	g := NewTPCC(29, cfg)
+	var status, level int
+	const n = 3000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case TPCCOrderStatus:
+			status++
+		case TPCCStockLevel:
+			level++
+			if len(op.Items) < 5 || len(op.Items) > 15 {
+				t.Fatalf("stock-level inspects %d items, want 5..15", len(op.Items))
+			}
+			if op.Threshold < 10 || op.Threshold > 20 {
+				t.Fatalf("stock-level threshold %d, want 10..20", op.Threshold)
+			}
+		}
+	}
+	if f := float64(status+level) / n; f < 0.25 || f > 0.35 {
+		t.Fatalf("query fraction %.3f, want ~0.30", f)
+	}
+	if status == 0 || level == 0 {
+		t.Fatalf("query kinds unbalanced: order-status=%d stock-level=%d", status, level)
+	}
+}
+
+func TestTPCCQueryFracZeroKeepsStream(t *testing.T) {
+	// The query draw only happens when QueryFrac > 0, so the zero config
+	// reproduces the pre-knob write-only stream bit for bit (the same
+	// rule as SocialGen's churn draw). Pinned against a golden prefix
+	// captured before the knob could perturb anything: an unconditional
+	// rng draw — the regression this guards — shifts every subsequent op.
+	golden := []string{
+		"new-order/w3/d2/c13/items8/amt0/remotefalse",
+		"payment/w1/d1/c81/items0/amt901/remotefalse",
+		"new-order/w3/d5/c31/items15/amt0/remotefalse",
+		"new-order/w3/d3/c72/items8/amt0/remotefalse",
+		"new-order/w1/d1/c99/items5/amt0/remotefalse",
+		"new-order/w1/d2/c63/items12/amt0/remotefalse",
+		"new-order/w1/d0/c27/items5/amt0/remotefalse",
+		"payment/w1/d5/c74/items0/amt1307/remotefalse",
+	}
+	g := NewTPCC(23, DefaultTPCCConfig(4)) // QueryFrac zero by default
+	for i, want := range golden {
+		op := g.Next()
+		got := fmt.Sprintf("%v/w%d/d%d/c%d/items%d/amt%d/remote%v",
+			op.Kind, op.Warehouse, op.District, op.Customer, len(op.Items), op.Amount, op.Remote)
+		if got != want {
+			t.Fatalf("op %d diverged from the pre-knob stream:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
 func TestMarketKeysDeclared(t *testing.T) {
 	g := NewMarket(5, DefaultMarketConfig())
 	for i := 0; i < 300; i++ {

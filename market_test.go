@@ -157,6 +157,9 @@ type mapCell struct{ state mapTxn }
 func (c *mapCell) Model() ProgrammingModel { return Deterministic }
 func (c *mapCell) Guarantee() Guarantee    { return Guarantee{} }
 func (c *mapCell) App() *App               { return nil }
+func (c *mapCell) Submit(string, string, []byte, *fabric.Trace) Handle {
+	return resolvedHandle(nil, fmt.Errorf("mapCell: not invokable"))
+}
 func (c *mapCell) Invoke(string, string, []byte, *fabric.Trace) ([]byte, error) {
 	return nil, fmt.Errorf("mapCell: not invokable")
 }

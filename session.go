@@ -1,0 +1,137 @@
+package tca
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tca/internal/fabric"
+)
+
+// SessionOptions tunes a client session. The zero value is a pipelined
+// session with the default in-flight cap and no ordering.
+type SessionOptions struct {
+	// MaxInFlight caps the session's outstanding (accepted but not yet
+	// applied) submissions; Submit blocks when the cap is reached — the
+	// client-side pipelining depth. Zero means 32.
+	MaxInFlight int
+	// OrderKeys serializes the session's ops on overlapping declared key
+	// sets: Submit waits for the session's previous op touching any of the
+	// same keys to complete before submitting. On the eventual cells this
+	// is what buys a session read-your-writes — a read submitted after a
+	// write to the same key gathers its snapshot only after the write's
+	// choreography finished shipping, so the write is already in the key's
+	// partition log. Ops on disjoint keys still pipeline freely. Ordering
+	// is per submitting goroutine: concurrent Submit calls racing on the
+	// same key are not ordered against each other.
+	OrderKeys bool
+}
+
+// Session is a client of one deployed Cell: it assigns the session's
+// request ids, caps how many submissions are in flight, and (optionally)
+// orders ops that touch the same keys. Every workload driver in the
+// concurrency experiments (E20) holds one Session per simulated client —
+// the unit the paper's "millions of users" decompose into.
+type Session struct {
+	cell Cell
+	id   string
+	opts SessionOptions
+
+	seq   atomic.Int64
+	errs  atomic.Int64
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	mu   sync.Mutex
+	last map[string]Handle // OrderKeys: latest handle per declared key
+}
+
+// NewSession opens a session on cell. id prefixes the session's request
+// ids, so distinct sessions submitting the same logical stream never
+// collide in the cell's idempotence layer.
+func NewSession(cell Cell, id string, opts SessionOptions) *Session {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 32
+	}
+	return &Session{
+		cell:  cell,
+		id:    id,
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxInFlight),
+		last:  make(map[string]Handle),
+	}
+}
+
+// Submit starts the named op with a session-assigned request id and
+// returns its Handle. Blocks while the session is at its in-flight cap,
+// and — with OrderKeys — until the session's previous ops on overlapping
+// keys have completed.
+func (s *Session) Submit(opName string, args []byte, tr *fabric.Trace) Handle {
+	reqID := fmt.Sprintf("%s/%d", s.id, s.seq.Add(1))
+	var keys []string
+	if s.opts.OrderKeys {
+		if op, ok := s.cell.App().Op(opName); ok {
+			keys = s.cell.App().keysOf(op, args)
+			s.mu.Lock()
+			waits := make([]Handle, 0, len(keys))
+			for _, k := range keys {
+				if h, ok := s.last[k]; ok {
+					waits = append(waits, h)
+				}
+			}
+			s.mu.Unlock()
+			for _, h := range waits {
+				<-h.Done()
+			}
+		}
+	}
+	s.slots <- struct{}{}
+	h := s.cell.Submit(reqID, opName, args, tr)
+	if keys != nil {
+		// Recorded before the completion watcher starts, so the watcher's
+		// cleanup below can never race ahead of the registration.
+		s.mu.Lock()
+		for _, k := range keys {
+			s.last[k] = h
+		}
+		s.mu.Unlock()
+	}
+	s.wg.Add(1)
+	go func() {
+		<-h.Done()
+		if _, err := h.Result(); err != nil {
+			s.errs.Add(1)
+		}
+		if keys != nil {
+			// A completed handle can never make a later Submit wait —
+			// drop it (unless a newer op on the key already replaced it)
+			// so s.last tracks in-flight ops, not every key ever touched.
+			s.mu.Lock()
+			for _, k := range keys {
+				if s.last[k] == h {
+					delete(s.last, k)
+				}
+			}
+			s.mu.Unlock()
+		}
+		<-s.slots
+		s.wg.Done()
+	}()
+	return h
+}
+
+// Invoke is the session's blocking call: Submit(...).Result().
+func (s *Session) Invoke(opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return s.Submit(opName, args, tr).Result()
+}
+
+// Drain blocks until every submission accepted so far has completed.
+func (s *Session) Drain() {
+	s.wg.Wait()
+}
+
+// Errors returns how many of the session's completed submissions failed.
+func (s *Session) Errors() int64 { return s.errs.Load() }
+
+// Submitted returns how many submissions the session has issued.
+func (s *Session) Submitted() int64 { return s.seq.Load() }

@@ -1,0 +1,111 @@
+package tca
+
+import (
+	"sync"
+)
+
+// This file is the asynchronous half of the invocation surface. Cell.Submit
+// starts an op and returns a Handle immediately — acceptance — while the
+// Handle resolves when the op has applied. The split makes the messaging
+// axis of the taxonomy visible per request: on the synchronous cells accept
+// and apply coincide (the op runs on a bounded worker pool and the handle
+// resolves when the blocking protocol returns), while on the log-based
+// cells they are two genuinely different events — the deterministic core
+// acknowledges once the transaction is durably appended (concurrent
+// submissions share group log appends) and resolves the handle when the
+// scheduled transaction commits, and the dataflow cell acknowledges at the
+// ingress and resolves when the choreography's result record lands on the
+// egress. Invoke is Submit(...).Result() on every cell.
+
+// Handle is an in-flight op submission.
+type Handle interface {
+	// Done is closed when the op has completed: committed, applied, or
+	// failed. On the dataflow cell completion means the choreography's
+	// result record landed — writes are durably in flight exactly-once,
+	// but per-key settlement still needs Cell.Settle.
+	Done() <-chan struct{}
+	// Result blocks until completion and returns the op's result. Calling
+	// it more than once returns the same outcome.
+	Result() ([]byte, error)
+}
+
+// opHandle is the shared Handle implementation. Resolution is idempotent
+// (sync.Once) because some completion paths race a watchdog or an
+// at-least-once egress delivery.
+type opHandle struct {
+	done chan struct{}
+	once sync.Once
+	res  []byte
+	err  error
+}
+
+func newOpHandle() *opHandle { return &opHandle{done: make(chan struct{})} }
+
+func (h *opHandle) resolve(res []byte, err error) {
+	h.once.Do(func() {
+		h.res, h.err = res, err
+		close(h.done)
+	})
+}
+
+func (h *opHandle) Done() <-chan struct{} { return h.done }
+
+func (h *opHandle) Result() ([]byte, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// resolvedHandle returns a Handle that is already complete — the path for
+// submissions rejected before they reach the cell's pipeline.
+func resolvedHandle(res []byte, err error) Handle {
+	h := newOpHandle()
+	h.resolve(res, err)
+	return h
+}
+
+// defaultClients bounds a synchronous cell's concurrently executing
+// submissions when Options.Clients is zero.
+const defaultClients = 16
+
+// submitPool runs submissions for the synchronous cells (microservices,
+// actors, cloud functions) on a bounded worker pool: Submit returns a
+// Handle immediately, at most Options.Clients ops execute their blocking
+// protocol at once, and excess submissions queue. The pool is what turns
+// a blocking saga / 2PC / critical-section call into a pipelined one
+// without changing the cell's guarantees.
+type submitPool struct {
+	slots chan struct{}
+}
+
+func newSubmitPool(clients int) *submitPool {
+	if clients <= 0 {
+		clients = defaultClients
+	}
+	return &submitPool{slots: make(chan struct{}, clients)}
+}
+
+// submit admits one op to the pool — blocking until a slot frees, so
+// acceptance means admission to the cell's bounded pipeline, not a
+// goroutine spawn — and returns its handle. The wait is what E20's
+// accept-us/op measures on the synchronous cells, and what keeps a
+// caller submitting faster than Options.Clients ops can execute
+// backpressured instead of piling up goroutines.
+func (p *submitPool) submit(run func() ([]byte, error)) Handle {
+	h := newOpHandle()
+	p.slots <- struct{}{}
+	go func() {
+		defer func() { <-p.slots }()
+		h.resolve(run())
+	}()
+	return h
+}
+
+// invoke runs one op on the pool inline — the blocking caller's fast
+// path. Observably identical to submit(run).Result() (same cap, same
+// outcome) without the per-op goroutine and handle, which keeps the
+// serial benchmarks' real cost where it was before the API went async.
+func (p *submitPool) invoke(run func() ([]byte, error)) ([]byte, error) {
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+	return run()
+}

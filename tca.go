@@ -29,7 +29,7 @@
 //     2PC, no buffered-write commit, no write-emit choreography round,
 //     no write-schedule slot) and rejects writes from its body.
 //   - Deploy(model, app, env) instantiates the App under one taxonomy
-//     cell and returns a Cell: Invoke runs an op with the cell's honest
+//     cell and returns a Cell: Submit starts an op with the cell's honest
 //     semantics (a saga, an actor transaction, an entity critical
 //     section, a dataflow message choreography, or a deterministic
 //     log-ordered transaction), Read audits settled state, and Guarantee
@@ -37,23 +37,44 @@
 //
 // Four applications ship as App constructors: BankApp (the literature's
 // running example; the Bank interface wraps it for compatibility),
-// TPCCApp (the TPC-C NewOrder/Payment subset), MarketApp (the Online
-// Marketplace mix: carts, write-skew-prone checkouts, read-only product
-// queries, price updates) and SocialApp (DeathStarBench-style
-// compose-post whose declared key set is the follower-timeline list).
-// Each ships a cross-model auditor (TPCCAuditor, MarketAuditor,
-// SocialAuditor) that replays the op stream on a serial reference and
-// reports every divergence. Writing another workload is a ~100-line App,
-// not a per-model fork.
+// TPCCApp (the TPC-C NewOrder/Payment subset plus the standard's two
+// query transactions), MarketApp (the Online Marketplace mix: carts,
+// write-skew-prone checkouts, read-only product queries, price updates)
+// and SocialApp (DeathStarBench-style compose-post whose declared key set
+// is the follower-timeline list). Each ships a cross-model auditor
+// (TPCCAuditor, MarketAuditor, SocialAuditor) that replays the op stream
+// on a serial reference and reports every divergence. Writing another
+// workload is a ~100-line App, not a per-model fork.
 //
-// Construct a cell with Deploy (or NewBank for the wrapped bank) and
-// drive it with the workload generators in internal/workload; the bench
-// suite (bench_test.go) does exactly that for every experiment in
-// EXPERIMENTS.md.
+// # Driving a cell
+//
+// The invocation surface is asynchronous at its base: Cell.Submit starts
+// an op and returns a Handle immediately — acceptance — and the Handle's
+// Done/Result report completion. What the two events mean is the
+// messaging axis of the taxonomy, per cell: on the synchronous cells
+// acceptance is admission to a bounded worker pool (Options.Clients —
+// Submit blocks while the pool is full, so accept latency is queueing
+// for a slot) and the handle resolves when the blocking protocol ends; the
+// deterministic cell acknowledges once the transaction is durably in the
+// log (concurrent submissions share group log appends, amortizing the
+// modeled append latency) and resolves the handle when the scheduled
+// transaction commits; the dataflow cell acknowledges at the ingress and
+// resolves when the choreography's result record lands — acknowledged is
+// not applied, as two distinct latency numbers per request. Invoke is the
+// blocking wrapper, Submit(...).Result() on every cell.
+//
+// Clients hold a Session (NewSession) per logical user: it assigns the
+// session's request ids, caps in-flight submissions (pipelining depth),
+// and can order ops on overlapping keys (SessionOptions.OrderKeys) for
+// session read-your-writes on the eventual cells. The concurrency matrix
+// (E20 in EXPERIMENTS.md) drives every cell this way through
+// workload.ClosedLoop; the rest of the bench suite (bench_test.go) covers
+// every other experiment.
 package tca
 
 import (
 	"fmt"
+	"time"
 
 	"tca/internal/fabric"
 	"tca/internal/mq"
@@ -171,6 +192,16 @@ type Options struct {
 	// transactions (zero = the runtime default). Other models ignore it;
 	// the pipelined-parallel benchmarks (E14) raise it.
 	Workers int
+	// Clients bounds the synchronous cells' (microservices, actors, cloud
+	// functions) concurrently executing submissions: Cell.Submit queues
+	// past the cap. Zero means 16. The log-based cells pipeline natively
+	// and ignore it. E20 sweeps this knob.
+	Clients int
+	// SequenceDelay models the Deterministic cell's per-record durable
+	// log-append latency (core.Config.SequenceDelay — the fsync/replication
+	// await group appends amortize across concurrent submissions). Zero
+	// disables the model. Other models ignore it.
+	SequenceDelay time.Duration
 }
 
 // Guarantee describes what a deployment cell actually promises — the
