@@ -23,9 +23,12 @@ bench:
 	go test -bench . -benchtime 1000x
 
 # bench-smoke runs every benchmark exactly once (no tests): a fast
-# compile-and-execute check for the bench-only code paths.
+# compile-and-execute check for the bench-only code paths. The E21 pass
+# through tcabench exercises one live-audited concurrency cell via the
+# binary's own flag surface, so the incremental-auditor path can't rot.
 bench-smoke:
 	go test -bench . -benchtime 1x -run '^$$'
+	go run ./cmd/tcabench -experiment e21 -ops 24 > /dev/null
 
 # bench-json writes a machine-readable summary of the headline
 # experiments to BENCH_latest.json so the perf trajectory can be tracked

@@ -37,7 +37,7 @@ func TestTPCCCrossModelConservation(t *testing.T) {
 				if _, err := cell.Invoke(fmt.Sprintf("x%d", i), tpccOpName(op), args, nil); err != nil {
 					t.Fatalf("op %d (%s): %v", i, tpccOpName(op), err)
 				}
-				audit.Record(op)
+				audit.RecordOp(op)
 				// Settling per op serializes even the eventual cell, so the
 				// equality-with-reference assertion is exact for all five.
 				if model == StatefulDataflow {

@@ -179,3 +179,44 @@ func (b *bankCell) PeekBalance(account int) int64 {
 
 func (b *bankCell) Settle() error { return b.cell.Settle() }
 func (b *bankCell) Close()        { b.cell.Close() }
+
+// BankAuditor audits the bank on the shared engine (audit.go): per-key
+// equality with the serial reference (balances are commutative Adds, so
+// any divergence is a lost or doubled delta, exact in any order), a live
+// overdraft check on sampled balances, and the conservation invariant as
+// a delta-maintained prefix sum — the settled balances must sum to
+// exactly the deposits, transfer by transfer, with O(delta) maintenance.
+type BankAuditor struct {
+	*refAuditor
+}
+
+// NewBankAuditor creates an empty auditor.
+func NewBankAuditor() *BankAuditor {
+	cons := NewConstraints().
+		Check(NonNegative("overdraft", "acct/", true)).
+		SumTotal(SumTotal{
+			Name:   "conservation",
+			Prefix: "acct/",
+			Delta: func(opName string, args []byte) int64 {
+				if opName != "deposit" {
+					return 0
+				}
+				var a bankDepositArgs
+				json.Unmarshal(args, &a)
+				return a.Amount
+			},
+		})
+	return &BankAuditor{newRefAuditor(auditorConfig{app: BankApp(), cons: cons})}
+}
+
+// RecordDeposit folds one applied deposit into the reference.
+func (a *BankAuditor) RecordDeposit(account int, amount int64) {
+	args, _ := json.Marshal(bankDepositArgs{Account: account, Amount: amount})
+	a.ObserveSerial("deposit", args)
+}
+
+// RecordTransfer folds one applied transfer into the reference.
+func (a *BankAuditor) RecordTransfer(from, to int, amount int64) {
+	args, _ := json.Marshal(bankTransferArgs{From: from, To: to, Amount: amount})
+	a.ObserveSerial("transfer", args)
+}

@@ -781,7 +781,7 @@ func BenchmarkE17_TPCCMatrix(b *testing.B) {
 							// driver on one audit baseline for identical
 							// streams.
 							if model == StatefulDataflow || err == nil {
-								audit.Record(op)
+								audit.RecordOp(op)
 							}
 							if op.Kind == workload.TPCCOrderStatus || op.Kind == workload.TPCCStockLevel {
 								queries++
@@ -858,7 +858,7 @@ func BenchmarkE18_MarketplaceMatrix(b *testing.B) {
 					// carts/prices is exactly the drift the audit then
 					// reports.
 					if model == StatefulDataflow || err == nil {
-						audit.Record(op)
+						audit.RecordOp(op)
 					}
 					if op.Kind == workload.MarketQueryProduct {
 						queries++
@@ -975,7 +975,7 @@ func BenchmarkE19_SocialMatrix(b *testing.B) {
 						op := gen.Next()
 						args, _ := json.Marshal(op)
 						if _, err := cell.Invoke(fmt.Sprintf("e19-%d", i), SocialOpName(op), args, tr); err == nil || model == StatefulDataflow {
-							audit.Record(op)
+							audit.RecordOp(op)
 						}
 						if op.Kind == workload.SocialPost {
 							fanoutSum += int64(len(op.Followers))
@@ -1132,12 +1132,14 @@ func BenchmarkE16_CorePartitionScaling(b *testing.B) {
 // deterministic core's group appends amortize the modeled 80µs durable
 // append across concurrent submissions — tx/s grows with client count on
 // a single log — and the dataflow cell accepts at a flat rate while its
-// apply latency absorbs the backlog. The auditors run against the serial
-// reference in completion order: the commutative social mix must stay
-// exact on every cell, while TPC-C's stock read-modify-writes expose the
-// unisolated cells (sagas, dataflow) as soon as clients > 1 — anomalies
-// the serial E17 driver could never provoke. The driver itself is
-// tca.RunConcurrencyCell, shared with cmd/tcabench.
+// apply latency absorbs the backlog. The auditors run live inside the
+// loop (Record at submission, O(delta) Observe per resolved handle) and
+// the final verdict is the precedence graph's: the commutative social mix
+// must stay exact on every cell, while TPC-C's stock read-modify-writes
+// expose the unisolated cells (sagas, dataflow) as soon as clients > 1 —
+// and only as genuine anomalies, since mismatches a legal reorder of
+// racing commits explains are suppressed into the reordered count. The
+// driver itself is tca.RunConcurrencyCell, shared with cmd/tcabench.
 func BenchmarkE20_ConcurrencyMatrix(b *testing.B) {
 	for _, mix := range ConcurrencyMixes {
 		for _, clients := range []int{1, 4, 16, 64} {
@@ -1154,7 +1156,48 @@ func BenchmarkE20_ConcurrencyMatrix(b *testing.B) {
 					b.ReportMetric(float64(res.ApplyP50)/1e3, "apply-us/op")
 					b.ReportMetric(float64(res.Rejected), "rejected")
 					b.ReportMetric(float64(len(res.Anomalies)), "anomalies")
+					b.ReportMetric(float64(res.Violations), "violations")
+					b.ReportMetric(float64(res.Reordered), "reordered")
+					b.ReportMetric(float64(res.GraphCycles), "graph-cycles")
 				})
+			}
+		}
+	}
+}
+
+// BenchmarkE21_LiveAuditOverhead prices the online auditing layer: all
+// four workload mixes on the two log-based cells (the isolated
+// deterministic core and the unisolated dataflow cell), each cell run
+// with the incremental auditor live inside the concurrency loop and
+// again with auditing off. The audited run pays Record at submission, an
+// O(delta) reference replay plus delta constraint maintenance per
+// resolved handle, and a bounded live-value sample (at most
+// auditLiveKeyCap peeks per commit, only for keys a live constraint
+// watches — the social mix samples nothing and should price near zero).
+// Compare tx/s against the matching audit=off row for the overhead;
+// violations/reordered/graph-cycles report what the auditor caught.
+func BenchmarkE21_LiveAuditOverhead(b *testing.B) {
+	for _, mix := range AuditedMixes {
+		for _, clients := range []int{1, 4, 16, 64} {
+			for _, model := range []ProgrammingModel{Deterministic, StatefulDataflow} {
+				for _, audited := range []bool{true, false} {
+					b.Run(fmt.Sprintf("%s/%s/clients=%d/audit=%v", mix, model, clients, audited), func(b *testing.B) {
+						b.ResetTimer()
+						res, err := RunConcurrencyCellOpts(mix, model, clients, b.N, ConcurrencyOptions{Audit: audited})
+						b.StopTimer()
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(res.Throughput(), "tx/s")
+						b.ReportMetric(float64(res.ApplyP50)/1e3, "apply-us/op")
+						if audited {
+							b.ReportMetric(float64(len(res.Anomalies)), "anomalies")
+							b.ReportMetric(float64(res.Violations), "violations")
+							b.ReportMetric(float64(res.Reordered), "reordered")
+							b.ReportMetric(float64(res.GraphCycles), "graph-cycles")
+						}
+					})
+				}
 			}
 		}
 	}

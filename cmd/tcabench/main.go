@@ -50,13 +50,29 @@ func (r *reporter) add(exp, row string, m map[string]float64) {
 	r.rows = append(r.rows, benchRow{Experiment: exp, Row: row, Metrics: m})
 }
 
+// auditOn is the -audit escape hatch: off drops the live auditors (and
+// the final order verdict) from the concurrency experiments, measuring
+// the raw harness.
+var auditOn = true
+
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21 (or all)")
 	jsonOut := flag.Bool("json", false,
 		"emit a machine-readable JSON summary on stdout instead of tables")
+	audit := flag.String("audit", "live",
+		"concurrency-experiment auditing: live (incremental auditors inside the loop) or off")
 	flag.Parse()
+	switch *audit {
+	case "live":
+		auditOn = true
+	case "off":
+		auditOn = false
+	default:
+		fmt.Fprintf(os.Stderr, "tcabench: unknown -audit mode %q (use live or off)\n", *audit)
+		os.Exit(2)
+	}
 
 	known := []struct {
 		name string
@@ -70,6 +86,7 @@ func main() {
 		{"e18", runE18},
 		{"e19", runE19},
 		{"e20", runE20},
+		{"e21", runE21},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -79,7 +96,7 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -342,7 +359,7 @@ func runE17(w *tabwriter.Writer, rep *reporter, ops int) {
 				},
 				func(i int, accepted bool) {
 					if accepted || cell.Model() == tca.StatefulDataflow {
-						audit.Record(pending)
+						audit.RecordOp(pending)
 					}
 				},
 				func() ([]string, error) { return audit.Verify(cell) },
@@ -395,7 +412,7 @@ func runE18(w *tabwriter.Writer, rep *reporter, ops int) {
 				},
 				func(i int, accepted bool) {
 					if accepted || cell.Model() == tca.StatefulDataflow {
-						audit.Record(pending)
+						audit.RecordOp(pending)
 					}
 				},
 				func() ([]string, error) { return audit.Verify(cell) },
@@ -495,7 +512,7 @@ func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
 				},
 				func(i int, accepted bool) {
 					if !isQuery && (accepted || cell.Model() == tca.StatefulDataflow) {
-						audit.Record(pending)
+						audit.RecordOp(pending)
 					}
 				},
 				func() ([]string, error) { return audit.Verify(cell) },
@@ -525,29 +542,91 @@ func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
 // BenchmarkE20_ConcurrencyMatrix, so the two surfaces cannot drift).
 // Reports pipelined throughput, the accept-vs-apply latency split
 // (acknowledged is not applied on the log-based cells), rejected
-// submissions, and auditor anomalies — the write skew the unisolated
-// cells show as soon as real concurrency exists.
+// submissions, and the live auditor's verdict: exact anomalies (no
+// serializable completion order explains the value), live constraint
+// violations, mismatches a legal reorder explains (the false positives a
+// completion-order audit would have reported), and precedence-graph
+// cycles. -audit=off drops the auditor and the last four columns.
 func runE20(w *tabwriter.Writer, rep *reporter, ops int) {
-	fmt.Fprintln(w, "E20: concurrency matrix — pipelined Sessions, accept vs apply latency, audited")
-	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s\taccept-p50\tapply-p50\trejected\tanomalies")
+	fmt.Fprintln(w, "E20: concurrency matrix — pipelined Sessions, accept vs apply latency, audited live")
+	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s\taccept-p50\tapply-p50\trejected\tanomalies\tviol\treorder\tcycles")
 	for _, mix := range tca.ConcurrencyMixes {
 		for _, clients := range []int{1, 4, 16, 64} {
 			for _, model := range allModels {
-				res, err := tca.RunConcurrencyCell(mix, model, clients, ops)
+				res, err := tca.RunConcurrencyCellOpts(mix, model, clients, ops, tca.ConcurrencyOptions{Audit: auditOn})
 				if err != nil {
 					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
 					continue
 				}
-				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%v\t%v\t%d\t%d\n",
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%v\t%v\t%d\t%d\t%d\t%d\t%d\n",
 					mix, model, clients, res.Throughput(),
 					res.AcceptP50.Round(time.Microsecond), res.ApplyP50.Round(time.Microsecond),
-					res.Rejected, len(res.Anomalies))
+					res.Rejected, len(res.Anomalies), res.Violations, res.Reordered, res.GraphCycles)
 				rep.add("e20", fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), map[string]float64{
 					"tx_s":          res.Throughput(),
 					"accept_p50_us": float64(res.AcceptP50) / 1e3,
 					"apply_p50_us":  float64(res.ApplyP50) / 1e3,
 					"rejected":      float64(res.Rejected),
 					"anomalies":     float64(len(res.Anomalies)),
+					"violations":    float64(res.Violations),
+					"reordered":     float64(res.Reordered),
+					"graph_cycles":  float64(res.GraphCycles),
+				})
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// e21Models are the two log-based cells E21 sweeps: the isolated
+// deterministic core (the audit should confirm exactness) and the
+// unisolated dataflow cell (the audit should attribute its drift), the
+// two ends of the taxonomy's consistency spectrum.
+var e21Models = []tca.ProgrammingModel{tca.Deterministic, tca.StatefulDataflow}
+
+// runE21 prints the live-audit-overhead sweep: all four workload mixes
+// under their incremental auditors at rising client counts, each cell run
+// twice — auditing on and off — so the overhead of in-loop auditing
+// (Record + O(delta) Observe + bounded live sampling) is a measured
+// column, not a claim. With -audit=off only the baseline runs.
+func runE21(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E21: live-audit overhead — incremental auditors inside the concurrency loop")
+	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s audited\ttx/s off\toverhead\tanomalies\tviol\treorder\tcycles")
+	for _, mix := range tca.AuditedMixes {
+		for _, clients := range []int{1, 4, 16, 64} {
+			for _, model := range e21Models {
+				off, err := tca.RunConcurrencyCellOpts(mix, model, clients, ops, tca.ConcurrencyOptions{Audit: false})
+				if err != nil {
+					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
+					continue
+				}
+				if !auditOn {
+					fmt.Fprintf(w, "%s\t%v\t%d\t-\t%.0f\t-\t-\t-\t-\t-\n", mix, model, clients, off.Throughput())
+					rep.add("e21", fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), map[string]float64{
+						"tx_s_off": off.Throughput(),
+					})
+					continue
+				}
+				on, err := tca.RunConcurrencyCellOpts(mix, model, clients, ops, tca.ConcurrencyOptions{Audit: true})
+				if err != nil {
+					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
+					continue
+				}
+				overhead := 0.0
+				if off.Throughput() > 0 {
+					overhead = 100 * (1 - on.Throughput()/off.Throughput())
+				}
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.1f%%\t%d\t%d\t%d\t%d\n",
+					mix, model, clients, on.Throughput(), off.Throughput(), overhead,
+					len(on.Anomalies), on.Violations, on.Reordered, on.GraphCycles)
+				rep.add("e21", fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), map[string]float64{
+					"tx_s_audited":       on.Throughput(),
+					"tx_s_off":           off.Throughput(),
+					"audit_overhead_pct": overhead,
+					"anomalies":          float64(len(on.Anomalies)),
+					"violations":         float64(on.Violations),
+					"reordered":          float64(on.Reordered),
+					"graph_cycles":       float64(on.GraphCycles),
 				})
 			}
 		}

@@ -11,17 +11,31 @@ import (
 	"tca/internal/workload"
 )
 
-// The E20 concurrency-matrix driver, shared by the bench suite
-// (BenchmarkE20_ConcurrencyMatrix) and cmd/tcabench so the two surfaces
-// can never report different numbers for the same experiment: one cell =
-// one (mix, model, clients) triple, driven through pipelined client
-// Sessions by workload.ClosedLoop.
+// The E20/E21 concurrency drivers, shared by the bench suite and
+// cmd/tcabench so the two surfaces can never report different numbers for
+// the same experiment: one cell = one (mix, model, clients) triple,
+// driven through pipelined client Sessions by workload.ClosedLoop, with
+// the workload's Auditor running live inside the loop — Record at
+// submission, Observe (plus a bounded live-value sample) as each handle
+// resolves, and the precedence-graph Verify on the settled cell.
 
-// ConcurrencyMixes are the workloads the matrix sweeps: the TPC-C
-// NewOrder/Payment mix (order-confluent state — concurrency anomalies are
-// isolation failures) and the social compose-post mix (fully commutative
-// — any divergence is a delivery failure).
+// ConcurrencyMixes are the workloads the E20 matrix sweeps: the TPC-C
+// NewOrder/Payment mix (non-commutative stock writes — the order verdict
+// separates real anomalies from reorder noise) and the social
+// compose-post mix (fully commutative — any divergence is a delivery
+// failure).
 var ConcurrencyMixes = []string{"tpcc", "social"}
+
+// AuditedMixes are the workloads the E21 live-audit-overhead sweep
+// drives: every first-class App, each under its incremental Auditor.
+var AuditedMixes = []string{"bank", "tpcc", "market", "social"}
+
+// ConcurrencyOptions tunes one concurrency-cell run.
+type ConcurrencyOptions struct {
+	// Audit runs the workload's Auditor live inside the loop and the
+	// final precedence-graph Verify. Off measures the raw harness.
+	Audit bool
+}
 
 // ConcurrencyResult is one cell of the concurrency matrix.
 type ConcurrencyResult struct {
@@ -34,8 +48,21 @@ type ConcurrencyResult struct {
 	// ApplyP50 the median Submit-to-Handle-resolution time — the per-cell
 	// accept/apply split.
 	AcceptP50, ApplyP50 time.Duration
-	// Anomalies are the auditor's divergences from the serial reference.
+	// Anomalies are the final divergences the order verdict could not
+	// attribute to any serializable completion order.
 	Anomalies []string
+	// Violations counts live delta-constraint hits during the run
+	// (negative stock, overdrafts — sampled at apply time).
+	Violations int
+	// Reordered counts final mismatches a legal reordering of racing
+	// commits explains — the false positives a completion-order audit
+	// would have reported, suppressed by the precedence-graph verdict.
+	Reordered int
+	// GraphCycles counts conflict components whose settled values are
+	// explainable only by an order contradicting real-time precedence.
+	GraphCycles int
+	// Audited reports whether the auditor ran.
+	Audited bool
 }
 
 // Throughput returns applied (accepted and not rejected) ops per second.
@@ -51,31 +78,154 @@ func (r ConcurrencyResult) Throughput() float64 {
 // pool, so each driver goroutine effectively owns one.
 type concClient struct {
 	sess *Session
-	next func() (name string, args []byte, record func())
+	next func() (name string, args []byte)
 }
 
-// RunConcurrencyCell deploys the mix's App under model and drives it with
-// `clients` pipelined Sessions for ~ops total submissions. The cell gets
-// Options.Clients = clients (the sync cells' worker pool), 32 core
-// workers, and the modeled 80µs durable-append latency (E16's figure) —
-// what the deterministic cell's group appends amortize. Ops are audited
-// against the serial reference in completion order: both mixes' state
-// models are commutative or order-confluent, so divergence is an
-// isolation or delivery anomaly, not reorder noise. The eventual cell
-// records unconditionally (an accepted op is exactly-once in the ingress
-// and applies even if its handle reports a drop or timeout); every other
-// cell records applied ops only — the same baseline rule as E17/E18/E19.
+// mixApp returns the App behind one concurrency mix.
+func mixApp(mix string) (*App, error) {
+	switch mix {
+	case "bank":
+		return BankApp(), nil
+	case "tpcc":
+		return TPCCApp(), nil
+	case "market":
+		return MarketApp(), nil
+	case "social":
+		return SocialApp(), nil
+	default:
+		return nil, fmt.Errorf("tca: unknown concurrency mix %q", mix)
+	}
+}
+
+// newMixAuditor returns the mix's incremental Auditor.
+func newMixAuditor(mix string) Auditor {
+	switch mix {
+	case "bank":
+		return NewBankAuditor()
+	case "tpcc":
+		return NewTPCCAuditor()
+	case "market":
+		return NewMarketAuditor()
+	default:
+		return NewSocialAuditor()
+	}
+}
+
+// bankMixAccounts and bankMixBalance size the bank mix: enough seeded
+// balance that the uniform transfer stream never legitimately overdrafts,
+// so any overdraft or conservation hit is the cell's doing.
+const (
+	bankMixAccounts = 64
+	bankMixBalance  = 1_000_000
+)
+
+// mixStream returns one client's seeded op stream for a mix.
+func mixStream(mix string, seed int64) func() (string, []byte) {
+	switch mix {
+	case "bank":
+		gen := workload.NewBank(seed, bankMixAccounts, 0.1)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(bankTransferArgs{From: op.From, To: op.To, Amount: op.Amount})
+			return "transfer", args
+		}
+	case "tpcc":
+		gen := workload.NewTPCC(seed, workload.DefaultTPCCConfig(4))
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return tpccOpName(op), args
+		}
+	case "market":
+		cfg := workload.DefaultMarketConfig()
+		cfg.Users, cfg.Products = 256, 64
+		cfg.ZipfS = 1.3
+		gen := workload.NewMarket(seed, cfg)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return marketOpName(op), args
+		}
+	default:
+		gen := workload.NewSocial(seed, 128, 16)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return SocialOpName(op), args
+		}
+	}
+}
+
+// seedMix prepares a mix's initial state on the cell and, when auditing,
+// folds the same seeding into the auditor's reference. Only the bank
+// needs it: accounts start funded so transfers never legitimately abort.
+func seedMix(mix string, cell Cell, aud Auditor) error {
+	if mix != "bank" {
+		return nil
+	}
+	for acct := 0; acct < bankMixAccounts; acct++ {
+		args, _ := json.Marshal(bankDepositArgs{Account: acct, Amount: bankMixBalance})
+		reqID := fmt.Sprintf("seed/%d", acct)
+		if _, err := cell.Invoke(reqID, "deposit", args, nil); err != nil {
+			return err
+		}
+		if aud != nil {
+			aud.Record(reqID, "deposit", args)
+			aud.Observe(Commit{ReqID: reqID})
+		}
+	}
+	return cell.Settle()
+}
+
+// livePeek reads a key for the auditor's live sample without settling the
+// cell: the dataflow cell exposes its dirty Peek, every other cell's Read
+// serves committed state directly.
+func livePeek(c Cell, key string) ([]byte, bool) {
+	if sc, ok := c.(*statefunCell); ok {
+		raw, found, err := sc.Peek(key)
+		if err != nil {
+			return nil, false
+		}
+		return raw, found
+	}
+	raw, found, err := c.Read(key)
+	if err != nil {
+		return nil, false
+	}
+	return raw, found
+}
+
+// liveKeyer is the optional auditor surface the harness samples for.
+type liveKeyer interface {
+	LiveKeys(op string, args []byte) []string
+}
+
+// RunConcurrencyCell is RunConcurrencyCellOpts with live auditing on —
+// the E20 configuration.
 func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (ConcurrencyResult, error) {
+	return RunConcurrencyCellOpts(mix, model, clients, ops, ConcurrencyOptions{Audit: true})
+}
+
+// RunConcurrencyCellOpts deploys the mix's App under model and drives it
+// with `clients` pipelined Sessions for ~ops total submissions. The cell
+// gets Options.Clients = clients (the sync cells' worker pool), 32 core
+// workers, and the modeled 80µs durable-append latency (E16's figure) —
+// what the deterministic cell's group appends amortize. With auditing on,
+// the mix's Auditor runs live inside the loop: each submission is
+// Recorded, each resolved handle is Observed in completion order together
+// with a bounded sample of live cell values for the delta constraint
+// checks, and the settled cell gets the precedence-graph Verify — so
+// non-commutative mixes audit exactly instead of reporting reorder noise.
+// The eventual cell observes unconditionally (an accepted op is
+// exactly-once in the ingress and applies even if its handle reports a
+// drop or timeout); every other cell observes applied ops only — the same
+// baseline rule as E17/E18/E19.
+func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int, copts ConcurrencyOptions) (ConcurrencyResult, error) {
 	env := NewEnv(1, 3)
 	opts := Options{Clients: clients, Workers: 32, SequenceDelay: 80 * time.Microsecond}
-	var app *App
-	switch mix {
-	case "tpcc":
-		app = TPCCApp()
-	case "social":
-		app = SocialApp()
-	default:
-		return ConcurrencyResult{}, fmt.Errorf("tca: unknown concurrency mix %q", mix)
+	app, err := mixApp(mix)
+	if err != nil {
+		return ConcurrencyResult{}, err
 	}
 	cell, err := DeployWith(model, app, env, opts)
 	if err != nil {
@@ -83,46 +233,39 @@ func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (C
 	}
 	defer cell.Close()
 
-	var auditMu sync.Mutex
-	tpccAudit := NewTPCCAuditor()
-	socialAudit := NewSocialAuditor()
+	var aud Auditor
+	var live liveKeyer
+	if copts.Audit {
+		aud = newMixAuditor(mix)
+		defer aud.Close()
+		live, _ = aud.(liveKeyer)
+	}
+	if err := seedMix(mix, cell, aud); err != nil {
+		return ConcurrencyResult{}, err
+	}
+
 	pool := make(chan *concClient, clients)
 	for c := 0; c < clients; c++ {
-		cl := &concClient{sess: NewSession(cell, fmt.Sprintf("c%d", c), SessionOptions{MaxInFlight: 8})}
-		if mix == "tpcc" {
-			gen := workload.NewTPCC(int64(100+c), workload.DefaultTPCCConfig(4))
-			cl.next = func() (string, []byte, func()) {
-				op := gen.Next()
-				args, _ := json.Marshal(op)
-				return tpccOpName(op), args, func() {
-					auditMu.Lock()
-					tpccAudit.Record(op)
-					auditMu.Unlock()
-				}
-			}
-		} else {
-			gen := workload.NewSocial(int64(100+c), 128, 16)
-			cl.next = func() (string, []byte, func()) {
-				op := gen.Next()
-				args, _ := json.Marshal(op)
-				return SocialOpName(op), args, func() {
-					auditMu.Lock()
-					socialAudit.Record(op)
-					auditMu.Unlock()
-				}
-			}
+		pool <- &concClient{
+			sess: NewSession(cell, fmt.Sprintf("c%d", c), SessionOptions{MaxInFlight: 8}),
+			next: mixStream(mix, int64(100+c)),
 		}
-		pool <- cl
 	}
 
 	acceptHist, applyHist := metrics.NewHistogram(), metrics.NewHistogram()
 	var rejected atomic.Int64
+	var auditSeq atomic.Int64
 	var inflight sync.WaitGroup
 	start := time.Now()
 	res := workload.ClosedLoop(clients, ops/clients+1, 0, func() error {
 		cl := <-pool
 		defer func() { pool <- cl }()
-		name, args, record := cl.next()
+		name, args := cl.next()
+		var auditID string
+		if aud != nil {
+			auditID = fmt.Sprintf("a/%d", auditSeq.Add(1))
+			aud.Record(auditID, name, args)
+		}
 		t0 := time.Now()
 		h := cl.sess.Submit(name, args, nil)
 		acceptHist.RecordDuration(time.Since(t0))
@@ -135,9 +278,32 @@ func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (C
 			if opErr != nil {
 				rejected.Add(1)
 			}
-			if opErr == nil || model == StatefulDataflow {
-				record()
+			if aud == nil {
+				return
 			}
+			if opErr != nil && model != StatefulDataflow {
+				aud.Discard(auditID)
+				return
+			}
+			var sample map[string][]byte
+			if live != nil {
+				for _, k := range live.LiveKeys(name, args) {
+					if v, found := livePeek(cell, k); found {
+						if sample == nil {
+							sample = make(map[string][]byte, auditLiveKeyCap)
+						}
+						sample[k] = v
+					}
+				}
+			}
+			var seq int64
+			if sh, ok := h.(interface{ Seq() int64 }); ok {
+				// The deterministic core stamps results with their log
+				// position: the verdict replays components in the cell's
+				// actual commit order instead of searching for one.
+				seq = sh.Seq()
+			}
+			aud.Observe(Commit{ReqID: auditID, Op: name, Args: args, Start: t0, End: time.Now(), Live: sample, Seq: seq})
 		}()
 		return nil
 	})
@@ -146,21 +312,24 @@ func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (C
 		return ConcurrencyResult{}, err
 	}
 	elapsed := time.Since(start)
-	var anomalies []string
-	if mix == "tpcc" {
-		anomalies, err = tpccAudit.Verify(cell)
-	} else {
-		anomalies, err = socialAudit.Verify(cell)
-	}
-	if err != nil {
-		return ConcurrencyResult{}, err
-	}
-	return ConcurrencyResult{
+	out := ConcurrencyResult{
 		Issued:    res.Issued,
 		Rejected:  rejected.Load(),
 		Elapsed:   elapsed,
 		AcceptP50: time.Duration(acceptHist.Snapshot().P50),
 		ApplyP50:  time.Duration(applyHist.Snapshot().P50),
-		Anomalies: anomalies,
-	}, nil
+	}
+	if aud != nil {
+		anomalies, err := aud.Verify(cell)
+		if err != nil {
+			return ConcurrencyResult{}, err
+		}
+		stats := aud.Stats()
+		out.Anomalies = anomalies
+		out.Violations = stats.LiveViolations
+		out.Reordered = stats.Reordered
+		out.GraphCycles = stats.GraphCycles
+		out.Audited = true
+	}
+	return out, nil
 }

@@ -179,11 +179,16 @@ type Config struct {
 	Cluster *fabric.Cluster
 }
 
-// Result is a transaction outcome.
+// Result is a transaction outcome. Seq is the transaction's position in
+// the runtime's serialization order — derived from its log offset, with
+// group-append members sub-ordered by their batch index (members share a
+// record and therefore a TID, but are scheduled, and so serialized, in
+// batch order). Zero means unknown (e.g. a timed-out handle).
 type Result struct {
 	Value []byte
 	Err   string // "" = committed
 	TID   int64
+	Seq   int64
 }
 
 // request is the input-log wire format. GSeq is zero for transactions
@@ -697,7 +702,7 @@ func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) 
 		// unpacks the identical record identically.
 		tid := off*int64(r.nparts) + int64(part)
 		for i := range req.Batch {
-			r.scheduleSingle(part, tid, req.Batch[i], stop)
+			r.scheduleSingle(part, tid, tid*maxGroupAppend+int64(i)+1, req.Batch[i], stop)
 		}
 		return
 	}
@@ -706,7 +711,8 @@ func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) 
 		r.scheduleCross(part, parts, req, stop)
 		return
 	}
-	r.scheduleSingle(part, off*int64(r.nparts)+int64(part), req, stop)
+	tid := off*int64(r.nparts) + int64(part)
+	r.scheduleSingle(part, tid, tid*maxGroupAppend+1, req, stop)
 }
 
 // scheduleSingle wires a home-partition transaction into the per-key
@@ -714,7 +720,7 @@ func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) 
 // order, so chain order == log order; execution may interleave but only
 // between non-conflicting transactions — conflict-equivalent to the serial
 // log order.
-func (r *Runtime) scheduleSingle(part int, tid int64, req request, stop chan struct{}) {
+func (r *Runtime) scheduleSingle(part int, tid, seq int64, req request, stop chan struct{}) {
 	// Deduplicate: a replayed request whose result is already cached, or a
 	// duplicate log entry whose first copy is already scheduled, must not
 	// re-execute.
@@ -758,7 +764,7 @@ func (r *Runtime) scheduleSingle(part int, tid int64, req request, stop chan str
 		case <-stop:
 			return
 		}
-		r.execute(tid, req, part)
+		r.execute(tid, seq, req, part)
 	}()
 }
 
@@ -835,19 +841,20 @@ func (r *Runtime) scheduleCross(part int, parts []int, req request, stop chan st
 		case <-stop:
 			return
 		}
-		r.execute(ct.tid, ct.req, -1)
+		r.execute(ct.tid, ct.tid*maxGroupAppend+1, ct.req, -1)
 	}()
 }
 
 // execute runs one transaction and publishes its result. part is the home
-// partition, or -1 for a cross-partition transaction.
-func (r *Runtime) execute(tid int64, req request, part int) {
+// partition, or -1 for a cross-partition transaction; seq is the
+// transaction's serialization stamp (Result.Seq).
+func (r *Runtime) execute(tid, seq int64, req request, part int) {
 	r.fnMu.RLock()
 	fn, ok := r.fns[req.Fn]
 	r.fnMu.RUnlock()
 	var res Result
 	if !ok {
-		res = Result{Err: ErrNoFunction.Error() + ": " + req.Fn, TID: tid}
+		res = Result{Err: ErrNoFunction.Error() + ": " + req.Fn, TID: tid, Seq: seq}
 	} else {
 		tx := &Tx{
 			rt:     r,
@@ -861,7 +868,7 @@ func (r *Runtime) execute(tid int64, req request, part int) {
 		}
 		value, err := fn(tx, req.Args)
 		if err != nil {
-			res = Result{Err: err.Error(), TID: tid}
+			res = Result{Err: err.Error(), TID: tid, Seq: seq}
 			r.m.Counter("core.aborts").Inc()
 		} else {
 			// Commit: apply buffered writes atomically.
@@ -873,7 +880,7 @@ func (r *Runtime) execute(tid int64, req request, part int) {
 				delete(r.state, k)
 			}
 			r.stateMu.Unlock()
-			res = Result{Value: value, TID: tid}
+			res = Result{Value: value, TID: tid, Seq: seq}
 			r.m.Counter("core.commits").Inc()
 			if part >= 0 {
 				r.partCommits[part].Inc()
@@ -939,6 +946,18 @@ func (h *Handle) Result() ([]byte, error) {
 		return nil, ErrTimeout
 	}
 	return resultOut(h.res)
+}
+
+// Seq blocks for completion and returns the transaction's serialization
+// stamp — its position in the runtime's commit order (zero if unknown,
+// e.g. a timed-out handle). Auditors use it to replay observed commits in
+// the order the runtime actually serialized them.
+func (h *Handle) Seq() int64 {
+	<-h.done
+	if h.timedOut {
+		return 0
+	}
+	return h.res.Seq
 }
 
 // resolvedHandle wraps an already-known result (dedup fast path).

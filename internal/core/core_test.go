@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -316,5 +317,53 @@ func TestIsolationNoIntermediateStates(t *testing.T) {
 	defer mu.Unlock()
 	if anomalies != 0 {
 		t.Fatalf("%d isolation anomalies observed; core must be serializable", anomalies)
+	}
+}
+
+// TestSubmitAsyncSeqIsCommitOrder pins Result.Seq/Handle.Seq: concurrent
+// conflicting submissions all get nonzero serialization stamps, and the
+// per-commit results (the deposit function returns the running balance)
+// sorted by Seq reproduce the serial prefix sums — the stamps are the
+// runtime's commit order, including inside shared group appends, where
+// members carry one TID but distinct batch-indexed stamps.
+func TestSubmitAsyncSeqIsCommitOrder(t *testing.T) {
+	r := newBankRuntime(t, "seqorder")
+	const n = 64
+	type outcome struct{ seq, bal, amt int64 }
+	out := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			amt := int64(i + 1)
+			args := append(i64(amt), i64(7)...)
+			h, err := r.SubmitAsync(fmt.Sprintf("seq/%d", i), "deposit", []string{"acc/7"}, args, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			v, err := h.Result()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = outcome{seq: h.Seq(), bal: toI64(v), amt: amt}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	var sum int64
+	for _, o := range out {
+		if o.seq == 0 {
+			t.Fatal("committed handle has zero Seq")
+		}
+		sum += o.amt
+		if o.bal != sum {
+			t.Fatalf("balance %d at seq %d, want running sum %d: stamps disagree with commit order", o.bal, o.seq, sum)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"tca/internal/workload"
 )
@@ -171,56 +172,44 @@ func marketUpdatePrice(tx Txn, args []byte) ([]byte, error) {
 	return nil, tx.Put(workload.PriceKey(op.Product), EncodeInt(op.Price))
 }
 
-// MarketAuditor replays the accepted marketplace ops on a serial reference
-// (the very same bodies over a plain map) and verifies a cell against it.
-// Divergence on an order ledger means a checkout charged a price or cart
-// that was never current at its serialization point — the write-skew
-// between concurrent checkouts and price updates; divergence elsewhere
-// (stock, carts) is a lost or doubled update. Isolated cells must report
-// zero.
+// MarketAuditor audits the accepted marketplace ops incrementally on the
+// shared engine (audit.go). Order-ledger divergence that no serializable
+// completion order explains means a checkout charged a price or cart that
+// was never current at ANY serialization point — the write-skew between
+// concurrent checkouts and price updates; divergence elsewhere (stock,
+// carts) is a lost or doubled update. A blind price update racing a
+// checkout is NOT an anomaly when some legal order explains the ledger —
+// the precedence-graph verdict suppresses exactly those, so isolated
+// cells must report zero without the verdict leaning on order confluence.
 type MarketAuditor struct {
-	app   *App
-	state mapTxn
+	*refAuditor
 }
 
 // NewMarketAuditor creates an empty auditor.
 func NewMarketAuditor() *MarketAuditor {
-	return &MarketAuditor{app: MarketApp(), state: make(mapTxn)}
+	cons := NewConstraints().Check(NonNegative("negative stock", "mstock/", true))
+	return &MarketAuditor{newRefAuditor(auditorConfig{
+		app:  MarketApp(),
+		cons: cons,
+		compare: func(key string, got, want []byte) string {
+			g, w := DecodeInt(got), DecodeInt(want)
+			if g == w {
+				return ""
+			}
+			if strings.HasPrefix(key, "order/") {
+				return fmt.Sprintf("%s: charged %d, serial reference %d (checkout/price write skew)", key, g, w)
+			}
+			return fmt.Sprintf("%s: %d, serial reference %d", key, g, w)
+		},
+	})}
 }
 
-// Record replays one accepted op on the serial reference. Queries are
-// no-ops by construction and skipped.
-func (a *MarketAuditor) Record(op workload.MarketOp) {
+// RecordOp folds one accepted op into the reference in serial order.
+// Queries are no-ops by construction and skipped.
+func (a *MarketAuditor) RecordOp(op workload.MarketOp) {
 	if op.Kind == workload.MarketQueryProduct {
 		return
 	}
 	args, _ := json.Marshal(op)
-	registered, _ := a.app.Op(marketOpName(op))
-	registered.Body(a.state, args)
-}
-
-// Verify settles the cell and returns one description per violation
-// (empty = the cell matches the serial outcome on every key).
-func (a *MarketAuditor) Verify(c Cell) ([]string, error) {
-	if err := c.Settle(); err != nil {
-		return nil, err
-	}
-	var anomalies []string
-	for _, key := range sortedKeys(a.state) {
-		raw, _, err := c.Read(key)
-		if err != nil {
-			return anomalies, err
-		}
-		got, want := DecodeInt(raw), DecodeInt(a.state[key])
-		if got == want {
-			continue
-		}
-		if len(key) > 6 && key[:6] == "order/" {
-			anomalies = append(anomalies,
-				fmt.Sprintf("%s: charged %d, serial reference %d (checkout/price write skew)", key, got, want))
-			continue
-		}
-		anomalies = append(anomalies, fmt.Sprintf("%s: %d, serial reference %d", key, got, want))
-	}
-	return anomalies, nil
+	a.ObserveSerial(marketOpName(op), args)
 }

@@ -43,9 +43,9 @@ func TestMarketCrossModelAudit(t *testing.T) {
 					if err := cell.Settle(); err != nil {
 						t.Fatal(err)
 					}
-					audit.Record(op)
+					audit.RecordOp(op)
 				} else if err == nil {
-					audit.Record(op)
+					audit.RecordOp(op)
 				} else if op.Kind != workload.MarketCheckout {
 					// Only checkouts may fail in business terms (empty
 					// cart; cells wrap the error in their own types).
@@ -93,7 +93,7 @@ func TestSocialCrossModelFanout(t *testing.T) {
 				if _, err := cell.Invoke(fmt.Sprintf("p%d", i), SocialComposePost, args, nil); err != nil {
 					t.Fatalf("compose-post %d (fan-out %d): %v", i, len(op.Followers), err)
 				}
-				audit.Record(op)
+				audit.RecordOp(op)
 				if model == StatefulDataflow {
 					if err := cell.Settle(); err != nil {
 						t.Fatal(err)
@@ -132,9 +132,9 @@ func TestSocialCrossModelFanout(t *testing.T) {
 func TestMarketAuditorDetectsWriteSkew(t *testing.T) {
 	audit := NewMarketAuditor()
 	// The reference sees: price -> 300, cart +2, checkout at 300.
-	audit.Record(workload.MarketOp{Kind: workload.MarketUpdatePrice, Product: 1, Price: 300})
-	audit.Record(workload.MarketOp{Kind: workload.MarketAddToCart, User: 0, Product: 1, Qty: 2})
-	audit.Record(workload.MarketOp{Kind: workload.MarketCheckout, User: 0, Product: 1})
+	audit.RecordOp(workload.MarketOp{Kind: workload.MarketUpdatePrice, Product: 1, Price: 300})
+	audit.RecordOp(workload.MarketOp{Kind: workload.MarketAddToCart, User: 0, Product: 1, Qty: 2})
+	audit.RecordOp(workload.MarketOp{Kind: workload.MarketCheckout, User: 0, Product: 1})
 	// A fake cell whose checkout ran before the price update landed: it
 	// charged the initial price instead.
 	skewed := make(mapTxn)

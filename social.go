@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tca/internal/workload"
 )
@@ -140,73 +141,77 @@ func socialReadTimeline(tx Txn, args []byte) ([]byte, error) {
 	return EncodeIntList(DecodeIntList(raw)), nil
 }
 
-// SocialAuditor replays accepted social ops on a serial reference and
-// verifies a cell's post logs, timelines, and follow edges against it.
-// The whole state model is commutative (bounded-list merges and ±1 edge
-// deltas), so every cell — even the eventual ones — must match: a
-// mismatch means lost or duplicated delivery, not missing isolation. On
-// top of per-key equality the auditor checks read-your-writes: every
-// author's own post log must contain their most recent accepted post.
+// SocialAuditor audits accepted social ops incrementally on the shared
+// engine (audit.go): a cell's post logs, timelines, and follow edges are
+// verified against the serial reference with list-exact delivery
+// semantics. The whole state model is commutative (bounded-list merges
+// and ±1 edge deltas), so every cell — even the eventual ones — must
+// match: a mismatch means lost or duplicated delivery, not missing
+// isolation, and the order verdict never windows a commutative-only
+// commit (social auditing costs O(delta) per post, full stop). On top of
+// per-key equality the auditor maintains read-your-writes incrementally:
+// every author's own post log must contain their most recent accepted
+// post.
 type SocialAuditor struct {
-	app      *App
-	state    mapTxn
+	*refAuditor
+	mu       sync.Mutex
 	lastPost map[int]int64 // author -> most recent accepted post id
 }
 
 // NewSocialAuditor creates an empty auditor.
 func NewSocialAuditor() *SocialAuditor {
-	return &SocialAuditor{app: SocialApp(), state: make(mapTxn), lastPost: make(map[int]int64)}
-}
-
-// Record replays one accepted op on the serial reference.
-func (a *SocialAuditor) Record(op workload.SocialOp) {
-	args, _ := json.Marshal(op)
-	registered, _ := a.app.Op(SocialOpName(op))
-	registered.Body(a.state, args)
-	if op.Kind == workload.SocialPost {
-		a.lastPost[op.Author] = op.PostID
-	}
-}
-
-// Verify settles the cell and returns one description per lost or
-// duplicated delivery or broken read-your-writes (empty = exact fan-out
-// and visible own-writes everywhere).
-func (a *SocialAuditor) Verify(c Cell) ([]string, error) {
-	if err := c.Settle(); err != nil {
-		return nil, err
-	}
-	var anomalies []string
-	for _, key := range sortedKeys(a.state) {
-		raw, _, err := c.Read(key)
-		if err != nil {
-			return anomalies, err
-		}
-		if strings.HasPrefix(key, "follow/") {
-			if got, want := DecodeInt(raw), DecodeInt(a.state[key]); got != want {
-				anomalies = append(anomalies, fmt.Sprintf("%s: edge count %d, serial reference %d", key, got, want))
+	a := &SocialAuditor{lastPost: make(map[int]int64)}
+	a.refAuditor = newRefAuditor(auditorConfig{
+		app: SocialApp(),
+		compare: func(key string, got, want []byte) string {
+			if strings.HasPrefix(key, "follow/") {
+				if g, w := DecodeInt(got), DecodeInt(want); g != w {
+					return fmt.Sprintf("%s: edge count %d, serial reference %d", key, g, w)
+				}
+				return ""
 			}
-			continue
-		}
-		got, want := DecodeIntList(raw), DecodeIntList(a.state[key])
-		if !equalInt64s(got, want) {
-			anomalies = append(anomalies, fmt.Sprintf("%s: delivered %v, serial reference %v", key, got, want))
-		}
-	}
-	// Read-your-writes: the author's own post log must contain their most
-	// recent post (post ids are monotone, so the newest is never the one a
-	// bounded log evicts).
-	for _, author := range sortedIntKeys(a.lastPost) {
-		post := a.lastPost[author]
-		raw, _, err := c.Read(workload.PostsKey(author))
-		if err != nil {
-			return anomalies, err
-		}
-		if !containsInt64(DecodeIntList(raw), post) {
-			anomalies = append(anomalies,
-				fmt.Sprintf("read-your-writes: %s missing author %d's own post %d", workload.PostsKey(author), author, post))
-		}
-	}
-	return anomalies, nil
+			g, w := DecodeIntList(got), DecodeIntList(want)
+			if !equalInt64s(g, w) {
+				return fmt.Sprintf("%s: delivered %v, serial reference %v", key, g, w)
+			}
+			return ""
+		},
+		onObserve: func(opName string, args []byte) {
+			if opName != SocialComposePost {
+				return
+			}
+			var op workload.SocialOp
+			json.Unmarshal(args, &op)
+			a.mu.Lock()
+			a.lastPost[op.Author] = op.PostID
+			a.mu.Unlock()
+		},
+		// Read-your-writes: the author's own post log must contain their
+		// most recent post (post ids are monotone, so the newest is never
+		// the one a bounded log evicts).
+		finalize: func(read func(string) ([]byte, error), add func(string)) error {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			for _, author := range sortedIntKeys(a.lastPost) {
+				post := a.lastPost[author]
+				raw, err := read(workload.PostsKey(author))
+				if err != nil {
+					return err
+				}
+				if !containsInt64(DecodeIntList(raw), post) {
+					add(fmt.Sprintf("read-your-writes: %s missing author %d's own post %d", workload.PostsKey(author), author, post))
+				}
+			}
+			return nil
+		},
+	})
+	return a
+}
+
+// RecordOp folds one accepted op into the reference in serial order.
+func (a *SocialAuditor) RecordOp(op workload.SocialOp) {
+	args, _ := json.Marshal(op)
+	a.ObserveSerial(SocialOpName(op), args)
 }
 
 func equalInt64s(a, b []int64) bool {

@@ -127,7 +127,7 @@ func TestConcurrentSubmitMatchesSerialReference(t *testing.T) {
 			audit := NewSocialAuditor()
 			for i, op := range stream {
 				if accepted[i] {
-					audit.Record(op)
+					audit.RecordOp(op)
 				} else if model != Actors {
 					// Only the lock-based cell may abort (retries exhausted
 					// under contention); everywhere else every op must apply.

@@ -41,10 +41,31 @@
 // query transactions), MarketApp (the Online Marketplace mix: carts,
 // write-skew-prone checkouts, read-only product queries, price updates)
 // and SocialApp (DeathStarBench-style compose-post whose declared key set
-// is the follower-timeline list). Each ships a cross-model auditor
-// (TPCCAuditor, MarketAuditor, SocialAuditor) that replays the op stream
-// on a serial reference and reports every divergence. Writing another
-// workload is a ~100-line App, not a per-model fork.
+// is the follower-timeline list). Writing another workload is a
+// ~100-line App, not a per-model fork.
+//
+// # Auditing
+//
+// Every workload ships a cross-model auditor (TPCCAuditor,
+// MarketAuditor, SocialAuditor, BankAuditor) built on one shared layer
+// (audit.go): the Auditor interface — Record an accepted intent, Observe
+// each applied commit, Violations so far, Verify the settled cell — and
+// a ConstraintSet of delta-maintained invariants (per-key predicates
+// like stock >= 0, per-key totals like warehouse YTD = Σpayments, prefix
+// sums like bank conservation). Observe does O(delta) work per commit
+// against an incrementally maintained serial reference, so auditors run
+// live inside the concurrency harness with memory bounded by state size
+// plus fixed per-key windows, never by history length. Final divergences
+// pass through a precedence-graph order verdict: a mismatch is accepted
+// (counted as Reordered, not anomalous) when some linear extension of
+// the observed real-time precedence order reproduces the cell's settled
+// values, so racing non-commutative commits audit exactly instead of
+// reporting false drift; values only an order contradicting real time
+// explains are counted as GraphCycles and kept as violations. Cells that
+// know their own serialization — the deterministic core stamps every
+// result with its log position — pass it as Commit.Seq, and the auditor
+// re-sequences racing observations through a bounded reorder buffer so
+// the reference tracks the cell's true commit order exactly.
 //
 // # Driving a cell
 //

@@ -188,103 +188,54 @@ func tpccStockLevel(tx Txn, args []byte) ([]byte, error) {
 	return json.Marshal(res)
 }
 
-// mapTxn is the reference Txn: a plain map, applied sequentially. The
-// auditor replays the op stream on it with the very same bodies, making
-// the reference definitionally the serial outcome.
-type mapTxn map[string][]byte
-
-func (m mapTxn) Get(key string) ([]byte, bool, error) {
-	v, ok := m[key]
-	return v, ok, nil
-}
-
-func (m mapTxn) Put(key string, value []byte) error {
-	m[key] = value
-	return nil
-}
-
-func (m mapTxn) Add(key string, delta int64) error {
-	m[key] = EncodeInt(DecodeInt(m[key]) + delta)
-	return nil
-}
-
-func (m mapTxn) PushCap(key string, id int64, cap int) error {
-	return pushCapRMW(m, key, id, cap)
-}
-
-// TPCCAuditor replays a TPC-C op stream on a serial reference and then
-// verifies a cell against it: per-key equality with the serial outcome
-// plus the cross-model integrity constraints (stock never negative,
-// warehouse YTD = sum of payments, district counter = NewOrder count) in
-// the spirit of classic integrity-constraint checking.
+// TPCCAuditor audits a TPC-C op stream incrementally on the shared
+// engine (audit.go): per-key equality with the serial reference under the
+// precedence-graph order verdict, plus the classic integrity constraints
+// as a delta-maintained ConstraintSet — stock never negative (checked
+// live against sampled cell values), warehouse YTD equal to the sum of
+// payments, district order counters equal to the NewOrders issued.
 type TPCCAuditor struct {
-	app      *App
-	state    mapTxn
-	payments map[string]int64 // warehouse key -> expected YTD
-	orders   map[string]int64 // district key -> expected order count
+	*refAuditor
 }
 
 // NewTPCCAuditor creates an empty auditor.
 func NewTPCCAuditor() *TPCCAuditor {
-	return &TPCCAuditor{
-		app:      TPCCApp(),
-		state:    make(mapTxn),
-		payments: make(map[string]int64),
-		orders:   make(map[string]int64),
-	}
+	cons := NewConstraints().
+		Check(NonNegative("negative stock", "stock/", true)).
+		KeyTotal(KeyTotal{
+			Name: "warehouse YTD",
+			Delta: func(opName string, args []byte) map[string]int64 {
+				if opName != workload.TPCCPayment.String() {
+					return nil
+				}
+				var op workload.TPCCOp
+				json.Unmarshal(args, &op)
+				return map[string]int64{workload.WarehouseKey(op.Warehouse): op.Amount}
+			},
+			Describe: func(key string, got, want int64) string {
+				return fmt.Sprintf("%s: YTD %d != sum of payments %d", key, got, want)
+			},
+		}).
+		KeyTotal(KeyTotal{
+			Name: "district orders",
+			Delta: func(opName string, args []byte) map[string]int64 {
+				if opName != workload.TPCCNewOrder.String() {
+					return nil
+				}
+				var op workload.TPCCOp
+				json.Unmarshal(args, &op)
+				return map[string]int64{workload.DistrictKey(op.Warehouse, op.District): 1}
+			},
+			Describe: func(key string, got, want int64) string {
+				return fmt.Sprintf("%s: %d orders counted, %d issued", key, got, want)
+			},
+		})
+	return &TPCCAuditor{newRefAuditor(auditorConfig{app: TPCCApp(), cons: cons})}
 }
 
-// Record replays one applied op on the serial reference.
-func (a *TPCCAuditor) Record(op workload.TPCCOp) {
+// RecordOp folds one applied op into the reference in serial order — the
+// typed convenience the serial drivers and benchmarks use.
+func (a *TPCCAuditor) RecordOp(op workload.TPCCOp) {
 	args, _ := json.Marshal(op)
-	registered, _ := a.app.Op(tpccOpName(op))
-	registered.Body(a.state, args)
-	switch op.Kind {
-	case workload.TPCCNewOrder:
-		a.orders[workload.DistrictKey(op.Warehouse, op.District)]++
-	case workload.TPCCPayment:
-		a.payments[workload.WarehouseKey(op.Warehouse)] += op.Amount
-	}
-}
-
-// Verify settles the cell and returns one description per violated
-// constraint (empty = the cell preserved every invariant and matches the
-// serial outcome).
-func (a *TPCCAuditor) Verify(c Cell) ([]string, error) {
-	if err := c.Settle(); err != nil {
-		return nil, err
-	}
-	var anomalies []string
-	for _, key := range sortedKeys(a.state) {
-		raw, _, err := c.Read(key)
-		if err != nil {
-			return anomalies, err
-		}
-		got, want := DecodeInt(raw), DecodeInt(a.state[key])
-		if len(key) > 6 && key[:6] == "stock/" && got < 0 {
-			anomalies = append(anomalies, fmt.Sprintf("%s: negative stock %d", key, got))
-		}
-		if got != want {
-			anomalies = append(anomalies, fmt.Sprintf("%s: %d, serial reference %d", key, got, want))
-		}
-	}
-	for wh, want := range a.payments {
-		raw, _, err := c.Read(wh)
-		if err != nil {
-			return anomalies, err
-		}
-		if got := DecodeInt(raw); got != want {
-			anomalies = append(anomalies, fmt.Sprintf("%s: YTD %d != sum of payments %d", wh, got, want))
-		}
-	}
-	for dist, want := range a.orders {
-		raw, _, err := c.Read(dist)
-		if err != nil {
-			return anomalies, err
-		}
-		if got := DecodeInt(raw); got != want {
-			anomalies = append(anomalies, fmt.Sprintf("%s: %d orders counted, %d issued", dist, got, want))
-		}
-	}
-	return anomalies, nil
+	a.ObserveSerial(tpccOpName(op), args)
 }

@@ -26,7 +26,7 @@ func tpccQuerySeed(t *testing.T, cell Cell) *TPCCAuditor {
 		if _, err := cell.Invoke(fmt.Sprintf("qseed-%d", i), tpccOpName(op), args, nil); err != nil {
 			t.Fatalf("seed op %d (%s): %v", i, tpccOpName(op), err)
 		}
-		audit.Record(op)
+		audit.RecordOp(op)
 		if cell.Model() == StatefulDataflow {
 			if err := cell.Settle(); err != nil {
 				t.Fatal(err)

@@ -29,7 +29,7 @@ func wideSocialStream(t *testing.T, cell Cell, seed int64, users, fanout, ops in
 		args, _ := json.Marshal(op)
 		_, err := cell.Invoke(fmt.Sprintf("w%d", i), SocialOpName(op), args, nil)
 		if cell.Model() == StatefulDataflow || err == nil {
-			audit.Record(op)
+			audit.RecordOp(op)
 		} else {
 			t.Fatalf("op %d (%s, fan-out %d): %v", i, SocialOpName(op), len(op.Followers), err)
 		}
@@ -104,7 +104,7 @@ func TestStatefunTooManySendsUnreachable(t *testing.T) {
 	if _, err := cell.Invoke("celebrity", SocialComposePost, args, nil); err != nil {
 		t.Fatal(err)
 	}
-	audit.Record(op)
+	audit.RecordOp(op)
 	anomalies, err := audit.Verify(cell)
 	if err != nil {
 		t.Fatal(err)
