@@ -25,10 +25,14 @@ bench:
 # bench-smoke runs every benchmark exactly once (no tests): a fast
 # compile-and-execute check for the bench-only code paths. The E21 pass
 # through tcabench exercises one live-audited concurrency cell via the
-# binary's own flag surface, so the incremental-auditor path can't rot.
+# binary's own flag surface, so the incremental-auditor path can't rot;
+# the E22 pass drives real-WAL core cells on throwaway temp-dir logs
+# (removed when the run ends), so the durable-log path gets a real
+# append+fsync+replay smoke on every verify.
 bench-smoke:
 	go test -bench . -benchtime 1x -run '^$$'
 	go run ./cmd/tcabench -experiment e21 -ops 24 > /dev/null
+	go run ./cmd/tcabench -experiment e22 -ops 64 > /dev/null
 
 # bench-json writes a machine-readable summary of the headline
 # experiments to BENCH_latest.json so the perf trajectory can be tracked

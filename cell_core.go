@@ -19,11 +19,14 @@ type coreCell struct {
 
 func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
 	rt := core.NewRuntime(env.Broker, core.Config{
-		Name:          "cell-" + app.Name(),
-		Cluster:       env.Cluster,
-		Partitions:    opts.Partitions,
-		Workers:       opts.Workers,
-		SequenceDelay: opts.SequenceDelay,
+		Name:           "cell-" + app.Name(),
+		Cluster:        env.Cluster,
+		Partitions:     opts.Partitions,
+		Workers:        opts.Workers,
+		SequenceDelay:  opts.SequenceDelay,
+		LogDir:         opts.LogDir,
+		Fsync:          opts.Fsync,
+		MaxGroupAppend: opts.MaxGroupAppend,
 	})
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)

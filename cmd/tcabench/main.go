@@ -6,7 +6,9 @@
 // With -json the tables are replaced by a machine-readable summary on
 // stdout (one row object per table row, metrics keyed by name), which
 // `make bench-json` writes to BENCH_latest.json so the perf trajectory
-// can be tracked across PRs.
+// can be tracked across PRs. `tcabench -compare old.json new.json` diffs
+// two such summaries and flags throughput regressions beyond -threshold
+// (default ±20%), exiting nonzero when any row regressed.
 package main
 
 import (
@@ -58,12 +60,23 @@ var auditOn = true
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21,e22 (or all)")
 	jsonOut := flag.Bool("json", false,
 		"emit a machine-readable JSON summary on stdout instead of tables")
 	audit := flag.String("audit", "live",
 		"concurrency-experiment auditing: live (incremental auditors inside the loop) or off")
+	compare := flag.Bool("compare", false,
+		"compare two -json summaries instead of running: tcabench -compare old.json new.json")
+	threshold := flag.Float64("threshold", 20,
+		"with -compare, flag throughput deltas beyond this percentage")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "tcabench: -compare needs exactly two summary files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	switch *audit {
 	case "live":
 		auditOn = true
@@ -87,6 +100,7 @@ func main() {
 		{"e19", runE19},
 		{"e20", runE20},
 		{"e21", runE21},
+		{"e22", runE22},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -96,7 +110,7 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21,e22 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -215,19 +229,25 @@ func runE6(w *tabwriter.Writer, rep *reporter, ops int) {
 
 // runE16 prints the deterministic core's partition-scaling experiment:
 // the same transfer workload against 1/2/4/8 log partitions, all
-// shard-local traffic, with a modeled 80µs per-record append latency —
-// the serial cost sharding overlaps.
+// shard-local traffic, on the real write-ahead log (a throwaway temp
+// directory per cell) — the serial append cost sharding overlaps.
 func runE16(w *tabwriter.Writer, rep *reporter, ops int) {
-	fmt.Fprintln(w, "E16: core partition scaling — shard-local transfers, modeled 80µs/record log append")
+	fmt.Fprintln(w, "E16: core partition scaling — shard-local transfers, real WAL per partition")
 	fmt.Fprintln(w, "partitions\tthroughput\tspeedup")
 	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
 	var base float64
 	for _, parts := range []int{1, 2, 4, 8} {
+		dir, err := os.MkdirTemp("", "tcabench-e16-")
+		if err != nil {
+			fmt.Fprintf(w, "%d\terror: %v\n", parts, err)
+			continue
+		}
+		defer os.RemoveAll(dir)
 		rt := core.NewRuntime(mq.NewBroker(), core.Config{
-			Name:          fmt.Sprintf("bench16-%d", parts),
-			Workers:       16,
-			Partitions:    parts,
-			SequenceDelay: 80 * time.Microsecond,
+			Name:       fmt.Sprintf("bench16-%d", parts),
+			Workers:    16,
+			Partitions: parts,
+			LogDir:     dir,
 		})
 		rt.Register("touch", func(tx *core.Tx, args []byte) ([]byte, error) {
 			key := string(args)
@@ -539,7 +559,8 @@ func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
 // pipelined client Sessions (Cell.Submit) by workload.ClosedLoop at
 // rising client counts, on the TPC-C and social mixes, via the shared
 // driver tca.RunConcurrencyCell (the same code path as
-// BenchmarkE20_ConcurrencyMatrix, so the two surfaces cannot drift).
+// BenchmarkE20_ConcurrencyMatrix, so the two surfaces cannot drift),
+// with the deterministic cell on a real temp-dir write-ahead log.
 // Reports pipelined throughput, the accept-vs-apply latency split
 // (acknowledged is not applied on the log-based cells), rejected
 // submissions, and the live auditor's verdict: exact anomalies (no
@@ -553,7 +574,8 @@ func runE20(w *tabwriter.Writer, rep *reporter, ops int) {
 	for _, mix := range tca.ConcurrencyMixes {
 		for _, clients := range []int{1, 4, 16, 64} {
 			for _, model := range allModels {
-				res, err := tca.RunConcurrencyCellOpts(mix, model, clients, ops, tca.ConcurrencyOptions{Audit: auditOn})
+				res, err := tca.RunConcurrencyCellOpts(mix, model, clients, ops,
+					tca.ConcurrencyOptions{Audit: auditOn, LogDir: os.TempDir()})
 				if err != nil {
 					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
 					continue
@@ -666,4 +688,207 @@ func runE10(w *tabwriter.Writer, rep *reporter, ops int) {
 		})
 	}
 	fmt.Fprintln(w)
+}
+
+// e22Policies are the fsync policies the durability frontier sweeps.
+var e22Policies = []struct {
+	name   string
+	policy core.FsyncPolicy
+}{
+	{"batch", core.FsyncEveryBatch},
+	{"1ms", core.FsyncInterval},
+	{"none", core.FsyncNone},
+}
+
+// runE22 prints the durability frontier: the deterministic core on the
+// real write-ahead log, sweeping the group-append cap
+// (core.Config.MaxGroupAppend) against the fsync policy. 64 pipelined
+// submitters share group appends, so larger caps divide each fsync
+// across more transactions; fsync=none is the page-cache ceiling the
+// durable rows are judged against. accept-p99 is the 99th-percentile
+// SubmitAsync latency — the tail cost of "acknowledged means on disk".
+// The statistically settled numbers live in
+// BenchmarkE22_DurabilityFrontier; this is the same sweep at -ops scale.
+func runE22(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E22: durability frontier — real WAL group appends, batch cap x fsync policy")
+	fmt.Fprintln(w, "batch\tfsync\ttx/s\taccept-p99\trecords/append")
+	for _, batch := range []int{1, 8, 64, 256} {
+		for _, pol := range e22Policies {
+			rate, p99, perAppend, err := runE22Cell(batch, pol.policy, ops)
+			if err != nil {
+				fmt.Fprintf(w, "%d\t%s\terror: %v\n", batch, pol.name, err)
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%s\t%.0f\t%v\t%.1f\n",
+				batch, pol.name, rate, p99.Round(time.Microsecond), perAppend)
+			rep.add("e22", fmt.Sprintf("batch=%d/fsync=%s", batch, pol.name), map[string]float64{
+				"tx_s":           rate,
+				"accept_p99_us":  float64(p99) / 1e3,
+				"records_append": perAppend,
+			})
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// runE22Cell drives one durability-frontier cell on a throwaway log
+// directory, removed before it returns.
+func runE22Cell(batch int, policy core.FsyncPolicy, ops int) (rate float64, p99 time.Duration, perAppend float64, err error) {
+	dir, err := os.MkdirTemp("", "tcabench-e22-")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	rt := core.NewRuntime(mq.NewBroker(), core.Config{
+		Name:           fmt.Sprintf("e22-%d-%s", batch, policy),
+		Workers:        16,
+		LogDir:         dir,
+		Fsync:          policy,
+		MaxGroupAppend: batch,
+	})
+	rt.Register("deposit", func(tx *core.Tx, args []byte) ([]byte, error) {
+		key := string(args)
+		var bal int64
+		if raw, _, _ := tx.Get(key); raw != nil {
+			json.Unmarshal(raw, &bal)
+		}
+		raw, _ := json.Marshal(bal + 1)
+		return nil, tx.Put(key, raw)
+	})
+	if err := rt.Start(); err != nil {
+		return 0, 0, 0, err
+	}
+	defer rt.Stop()
+	const accounts, clients = 64, 64
+	accept := metrics.NewHistogram()
+	var wg sync.WaitGroup
+	var submitErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < ops; i += clients {
+				key := fmt.Sprintf("acc/%d", i%accounts)
+				t0 := time.Now()
+				if _, err := rt.SubmitAsync(fmt.Sprintf("e22-%d", i), "deposit",
+					[]string{key}, []byte(key), nil); err != nil {
+					errMu.Lock()
+					submitErr = err
+					errMu.Unlock()
+					return
+				}
+				accept.RecordDuration(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return 0, 0, 0, submitErr
+	}
+	if err := rt.Quiesce(time.Minute); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	perAppend = 0
+	if appends := rt.Metrics().Counter("core.wal_group_appends").Value(); appends > 0 {
+		perAppend = float64(ops) / float64(appends)
+	}
+	return float64(ops) / elapsed.Seconds(),
+		time.Duration(accept.Snapshot().P99), perAppend, nil
+}
+
+// throughputMetrics are the metric keys -compare treats as "bigger is
+// better" rates worth flagging; latency and anomaly counts are reported
+// but never flagged (they swing with machine load at tcabench's quick
+// -ops scales).
+var throughputMetrics = []string{"tx_s", "ops_s", "query_s", "tx_s_audited", "tx_s_off"}
+
+// benchSummary is the -json document shape (what BENCH_latest.json holds).
+type benchSummary struct {
+	OpsPerCell int        `json:"ops_per_cell"`
+	Rows       []benchRow `json:"rows"`
+}
+
+func readSummary(path string) (*benchSummary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s benchSummary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// runCompare diffs two -json summaries row by row and prints every
+// throughput metric whose delta exceeds ±threshold percent. Returns the
+// process exit code: 1 when any regression (delta below -threshold) was
+// flagged, 0 otherwise — improvements and missing rows are reported but
+// don't fail the comparison.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldSum, err := readSummary(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
+		return 2
+	}
+	newSum, err := readSummary(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
+		return 2
+	}
+	if oldSum.OpsPerCell != newSum.OpsPerCell {
+		fmt.Printf("note: ops_per_cell differs (%d vs %d) — rates are not directly comparable\n",
+			oldSum.OpsPerCell, newSum.OpsPerCell)
+	}
+	oldRows := make(map[string]benchRow, len(oldSum.Rows))
+	for _, r := range oldSum.Rows {
+		oldRows[r.Experiment+"/"+r.Row] = r
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "row\tmetric\told\tnew\tdelta")
+	regressions, improvements, compared := 0, 0, 0
+	seen := make(map[string]bool, len(newSum.Rows))
+	for _, nr := range newSum.Rows {
+		key := nr.Experiment + "/" + nr.Row
+		seen[key] = true
+		or, ok := oldRows[key]
+		if !ok {
+			fmt.Fprintf(w, "%s\t(new row)\t-\t-\t-\n", key)
+			continue
+		}
+		for _, metric := range throughputMetrics {
+			newV, ok := nr.Metrics[metric]
+			if !ok {
+				continue
+			}
+			oldV, ok := or.Metrics[metric]
+			if !ok || oldV <= 0 {
+				continue
+			}
+			compared++
+			delta := 100 * (newV - oldV) / oldV
+			if delta < -threshold {
+				regressions++
+				fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%+.1f%% REGRESSED\n", key, metric, oldV, newV, delta)
+			} else if delta > threshold {
+				improvements++
+				fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%+.1f%% improved\n", key, metric, oldV, newV, delta)
+			}
+		}
+	}
+	for key := range oldRows {
+		if !seen[key] {
+			fmt.Fprintf(w, "%s\t(row dropped)\t-\t-\t-\n", key)
+		}
+	}
+	w.Flush()
+	fmt.Printf("%d metrics compared: %d regressed, %d improved beyond %.0f%%\n",
+		compared, regressions, improvements, threshold)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
 }

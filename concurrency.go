@@ -3,6 +3,7 @@ package tca
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,13 @@ type ConcurrencyOptions struct {
 	// Audit runs the workload's Auditor live inside the loop and the
 	// final precedence-graph Verify. Off measures the raw harness.
 	Audit bool
+	// LogDir, when set and the model is Deterministic, backs the cell with
+	// a real durable write-ahead log (Options.LogDir) in a fresh
+	// subdirectory of LogDir, removed when the run ends — so repeated runs
+	// (a benchmark growing b.N) never replay a previous run's log. The
+	// modeled SequenceDelay is then not charged; the log's own append+fsync
+	// cost is the measured accept latency. Other models ignore it.
+	LogDir string
 }
 
 // ConcurrencyResult is one cell of the concurrency matrix.
@@ -200,17 +208,21 @@ type liveKeyer interface {
 	LiveKeys(op string, args []byte) []string
 }
 
-// RunConcurrencyCell is RunConcurrencyCellOpts with live auditing on —
-// the E20 configuration.
+// RunConcurrencyCell is RunConcurrencyCellOpts with live auditing on and
+// the deterministic cell on the real durable log (a per-run directory under
+// the OS temp dir) — the E20 configuration.
 func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (ConcurrencyResult, error) {
-	return RunConcurrencyCellOpts(mix, model, clients, ops, ConcurrencyOptions{Audit: true})
+	return RunConcurrencyCellOpts(mix, model, clients, ops, ConcurrencyOptions{Audit: true, LogDir: os.TempDir()})
 }
 
 // RunConcurrencyCellOpts deploys the mix's App under model and drives it
 // with `clients` pipelined Sessions for ~ops total submissions. The cell
 // gets Options.Clients = clients (the sync cells' worker pool), 32 core
-// workers, and the modeled 80µs durable-append latency (E16's figure) —
-// what the deterministic cell's group appends amortize. With auditing on,
+// workers, and the modeled 80µs durable-append latency — what the
+// deterministic cell's group appends amortize; with ConcurrencyOptions
+// .LogDir set, the deterministic cell runs on a real write-ahead log
+// instead and the measured append+fsync cost replaces the model (the E20
+// configuration). With auditing on,
 // the mix's Auditor runs live inside the loop: each submission is
 // Recorded, each resolved handle is Observed in completion order together
 // with a bounded sample of live cell values for the delta constraint
@@ -223,6 +235,14 @@ func RunConcurrencyCell(mix string, model ProgrammingModel, clients, ops int) (C
 func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int, copts ConcurrencyOptions) (ConcurrencyResult, error) {
 	env := NewEnv(1, 3)
 	opts := Options{Clients: clients, Workers: 32, SequenceDelay: 80 * time.Microsecond}
+	if copts.LogDir != "" && model == Deterministic {
+		dir, err := os.MkdirTemp(copts.LogDir, "cell-")
+		if err != nil {
+			return ConcurrencyResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.LogDir = dir
+	}
 	app, err := mixApp(mix)
 	if err != nil {
 		return ConcurrencyResult{}, err

@@ -53,6 +53,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -170,8 +171,25 @@ type Config struct {
 	// delay — the group-commit amortization E20 measures) and per
 	// cross-partition record at the global sequencer, but overlaps across
 	// partitions — the latency sharding hides, which E16 measures. Zero
-	// (the default) disables the model.
+	// (the default) disables the model. Ignored when LogDir is set: a real
+	// log's own append+fsync cost replaces the model.
 	SequenceDelay time.Duration
+	// LogDir, when set, puts a real durable write-ahead log under the
+	// runtime: the per-partition batchers persist every group append
+	// (header record with a Merkle root over the members, then the member
+	// records) to <LogDir>/p<partition> before producing it to the broker,
+	// and Start replays the logs through Merkle verification — persist,
+	// then act, measured instead of modeled. See internal/core/wal.go.
+	LogDir string
+	// Fsync selects the durable log's sync policy (LogDir mode only):
+	// every batch (default), interval (FsyncEvery), or none.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval flush period. Zero means 1ms.
+	FsyncEvery time.Duration
+	// MaxGroupAppend caps how many concurrent submissions one group append
+	// may carry. Zero means 128 (the executors' fetch batch). E22 sweeps
+	// it to map batch size against fsync policy.
+	MaxGroupAppend int
 	// ResultTimeout bounds Submit waits. Zero means 10s.
 	ResultTimeout time.Duration
 	// Cluster, when set, charges Submit's sequencer and reply hops to the
@@ -207,8 +225,9 @@ type request struct {
 	Batch []request `json:"b,omitempty"`
 }
 
-// maxGroupAppend bounds how many concurrent submissions one group append
-// may carry (matching the executors' fetch batch).
+// maxGroupAppend is the default bound on how many concurrent submissions
+// one group append may carry (matching the executors' fetch batch);
+// Config.MaxGroupAppend overrides it.
 const maxGroupAppend = 128
 
 // pendingSubmit is one submission waiting for its group append. acked is
@@ -235,10 +254,16 @@ type crossTxn struct {
 
 // Runtime is the deterministic transactional engine.
 type Runtime struct {
-	cfg    Config
-	nparts int
-	broker *mq.Broker
-	m      *metrics.Registry
+	cfg      Config
+	nparts   int
+	maxGroup int
+	broker   *mq.Broker
+	m        *metrics.Registry
+
+	// dlog is the real durable log (Config.LogDir mode); nil in modeled
+	// mode. Opened and bootstrapped by the first Start, kept across
+	// Crash/Recover (disk survives a crash), closed by Stop.
+	dlog *durableLog
 
 	// per-partition commit counters, resolved once, off the hot path.
 	partCommits []*metrics.Counter
@@ -328,9 +353,14 @@ func NewRuntime(broker *mq.Broker, cfg Config) *Runtime {
 		partCommits[p] = m.Counter(fmt.Sprintf("core.partition.%d.commits", p))
 		wakes[p] = make(chan struct{}, 1)
 	}
+	maxGroup := cfg.MaxGroupAppend
+	if maxGroup <= 0 {
+		maxGroup = maxGroupAppend
+	}
 	return &Runtime{
 		cfg:         cfg,
 		nparts:      nparts,
+		maxGroup:    maxGroup,
 		broker:      broker,
 		m:           m,
 		partCommits: partCommits,
@@ -408,6 +438,24 @@ func (r *Runtime) Start() error {
 	if r.running {
 		return nil
 	}
+	// First start in LogDir mode (or first after Stop closed the logs):
+	// open the durable logs and replay them through Merkle verification
+	// into the broker — persist-then-act's recovery half. Crash/Recover
+	// keeps dlog open (disk survives a crash; in-process recovery reuses
+	// it), so recovery does not re-read the disk: the broker it rebuilt is
+	// still there.
+	if r.cfg.LogDir != "" && r.dlog == nil {
+		d, err := openDurableLog(r.cfg.LogDir, r.nparts, r.cfg)
+		if err != nil {
+			return err
+		}
+		r.dlog = d
+		if err := r.bootstrap(); err != nil {
+			d.close()
+			r.dlog = nil
+			return err
+		}
+	}
 	r.ckMu.Lock()
 	if ck := r.checkpoint; ck != nil {
 		r.stateMu.Lock()
@@ -457,7 +505,7 @@ func (r *Runtime) Start() error {
 	r.batchCh = make([]chan *pendingSubmit, r.nparts)
 	r.running = true
 	for p := 0; p < r.nparts; p++ {
-		r.batchCh[p] = make(chan *pendingSubmit, maxGroupAppend)
+		r.batchCh[p] = make(chan *pendingSubmit, r.maxGroup)
 		r.wg.Add(2)
 		go r.runExecutor(p, r.stop)
 		go r.runBatcher(p, r.batchCh[p], r.stop)
@@ -570,7 +618,7 @@ func (r *Runtime) runSequencer(stop chan struct{}) {
 			}
 			continue
 		}
-		if r.cfg.SequenceDelay > 0 {
+		if r.cfg.SequenceDelay > 0 && r.dlog == nil {
 			owed = r.pace(owed, len(msgs))
 		}
 		for _, m := range msgs {
@@ -612,7 +660,14 @@ func (r *Runtime) sequenceOne(producerID string, m mq.Message) {
 		return
 	}
 	for _, p := range r.partitionsOf(req.Keys) {
-		r.broker.ProduceIdempotentTo(r.logTopic(p), req.ReqID, raw, producerID, m.Offset)
+		if r.dlog != nil {
+			if err := r.appendMarkerDurable(p, req.ReqID, raw, m.Offset); err != nil {
+				r.m.Counter("core.wal_errors").Inc()
+				continue
+			}
+		} else {
+			r.broker.ProduceIdempotentTo(r.logTopic(p), req.ReqID, raw, producerID, m.Offset)
+		}
 		r.wake(p)
 	}
 	r.m.Counter("core.cross_sequenced").Inc()
@@ -647,34 +702,66 @@ func (r *Runtime) runBatcher(part int, ch chan *pendingSubmit, stop chan struct{
 		}
 		batch := []*pendingSubmit{first}
 		// The durable append ahead of this group: pay one record's delay,
-		// then sweep in everything that queued while it was in flight.
-		if r.cfg.SequenceDelay > 0 {
+		// then sweep in everything that queued while it was in flight. With
+		// a real log (dlog) the append itself is the delay — the modeled
+		// pace is not charged on top.
+		if r.cfg.SequenceDelay > 0 && r.dlog == nil {
 			owed = r.pace(owed, 1)
 		}
+		// Sweep in everything already queued. In WAL mode, yield the
+		// processor a few times between sweeps: submitters woken by the
+		// previous group's acks are runnable but may not have re-enqueued
+		// yet (acute on few cores), and a scheduler pass costs ~µs against
+		// the fsync this group is about to pay — so letting them join
+		// multiplies the records amortizing it.
+		yields := 0
 	drain:
-		for len(batch) < maxGroupAppend {
+		for len(batch) < r.maxGroup {
 			select {
 			case ps := <-ch:
 				batch = append(batch, ps)
 			default:
-				break drain
+				if r.dlog == nil || yields >= 4 {
+					break drain
+				}
+				yields++
+				runtime.Gosched()
 			}
 		}
 		var raw []byte
 		var err error
-		if len(batch) == 1 {
-			raw, err = json.Marshal(batch[0].req)
-		} else {
-			reqs := make([]request, len(batch))
-			for i, ps := range batch {
-				reqs[i] = ps.req
-			}
-			raw, err = json.Marshal(request{Batch: reqs})
+		if len(batch) > 1 {
 			r.m.Counter("core.group_appends").Inc()
 			r.m.Counter("core.grouped_txns").Add(int64(len(batch)))
 		}
-		if err == nil {
-			_, err = r.broker.Produce(r.logTopic(part), "", raw)
+		if r.dlog != nil {
+			// WAL mode: marshal the members individually (they are the
+			// Merkle leaves and the replayable units), persist the group,
+			// then produce the combined record — the ack below means "on
+			// disk per the fsync policy".
+			members := make([][]byte, len(batch))
+			for i, ps := range batch {
+				if members[i], err = json.Marshal(ps.req); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				raw = combineGroup(members)
+				err = r.appendBatchDurable(part, members, raw)
+			}
+		} else {
+			if len(batch) == 1 {
+				raw, err = json.Marshal(batch[0].req)
+			} else {
+				reqs := make([]request, len(batch))
+				for i, ps := range batch {
+					reqs[i] = ps.req
+				}
+				raw, err = json.Marshal(request{Batch: reqs})
+			}
+			if err == nil {
+				_, err = r.broker.Produce(r.logTopic(part), "", raw)
+			}
 		}
 		for _, ps := range batch {
 			ps.acked <- err
@@ -702,7 +789,7 @@ func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) 
 		// unpacks the identical record identically.
 		tid := off*int64(r.nparts) + int64(part)
 		for i := range req.Batch {
-			r.scheduleSingle(part, tid, tid*maxGroupAppend+int64(i)+1, req.Batch[i], stop)
+			r.scheduleSingle(part, tid, tid*int64(r.maxGroup)+int64(i)+1, req.Batch[i], stop)
 		}
 		return
 	}
@@ -712,7 +799,7 @@ func (r *Runtime) schedule(part int, off int64, raw []byte, stop chan struct{}) 
 		return
 	}
 	tid := off*int64(r.nparts) + int64(part)
-	r.scheduleSingle(part, tid, tid*maxGroupAppend+1, req, stop)
+	r.scheduleSingle(part, tid, tid*int64(r.maxGroup)+1, req, stop)
 }
 
 // scheduleSingle wires a home-partition transaction into the per-key
@@ -841,7 +928,7 @@ func (r *Runtime) scheduleCross(part int, parts []int, req request, stop chan st
 		case <-stop:
 			return
 		}
-		r.execute(ct.tid, ct.tid*maxGroupAppend+1, ct.req, -1)
+		r.execute(ct.tid, ct.tid*int64(r.maxGroup)+1, ct.req, -1)
 	}()
 }
 
@@ -990,7 +1077,7 @@ func (r *Runtime) Submit(reqID, fn string, keys []string, args []byte, tr *fabri
 // latency numbers per request.
 func (r *Runtime) SubmitAsync(reqID, fn string, keys []string, args []byte, tr *fabric.Trace) (*Handle, error) {
 	r.runMu.Lock()
-	running, stop, batches := r.running, r.stop, r.batchCh
+	running, stop, batches, dlog := r.running, r.stop, r.batchCh, r.dlog
 	r.runMu.Unlock()
 	if !running {
 		return nil, ErrNotRunning
@@ -1037,7 +1124,14 @@ func (r *Runtime) SubmitAsync(reqID, fn string, keys []string, args []byte, tr *
 		if err != nil {
 			return fail(err)
 		}
-		if _, err := r.broker.Produce(r.seqTopic(), reqID, raw); err != nil {
+		if dlog != nil {
+			// Cross-partition submissions persist in the global-sequence
+			// log before the topic sees them: the gseq log is their
+			// durability point (the sequencer's markers are derived).
+			if err := r.appendGSeqDurable(dlog, reqID, raw); err != nil {
+				return fail(err)
+			}
+		} else if _, err := r.broker.Produce(r.seqTopic(), reqID, raw); err != nil {
 			return fail(err)
 		}
 		r.m.Counter("core.cross_submits").Inc()
@@ -1321,9 +1415,19 @@ func (r *Runtime) Recover() error { return r.Start() }
 
 // Stop halts gracefully. In-memory state is discarded, like Crash — resume
 // is always from the checkpoint plus log replay, which keeps the recovery
-// path singular and well-tested.
+// path singular and well-tested. In LogDir mode Stop also syncs and closes
+// the durable logs (Crash deliberately does not: the disk "survives" a
+// crash, and in-process recovery reuses the open handles); a later Start
+// reopens and re-replays them, with idempotent produce deduplicating
+// against a surviving broker.
 func (r *Runtime) Stop() {
 	r.Crash()
+	r.runMu.Lock()
+	if r.dlog != nil {
+		r.dlog.close()
+		r.dlog = nil
+	}
+	r.runMu.Unlock()
 }
 
 func cloneState(m map[string][]byte) map[string][]byte {

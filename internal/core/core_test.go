@@ -36,6 +36,18 @@ func newBankRuntime(t *testing.T, name string) *Runtime {
 func newBankRuntimeParts(t *testing.T, name string, partitions int) *Runtime {
 	t.Helper()
 	r := NewRuntime(mq.NewBroker(), Config{Name: name, Workers: 8, Partitions: partitions})
+	registerBank(r)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return r
+}
+
+// registerBank installs the deposit/transfer functions shared by the
+// runtime tests (including the durable-log suite, which builds its own
+// runtimes over custom brokers and log dirs).
+func registerBank(r *Runtime) {
 	r.Register("deposit", func(tx *Tx, args []byte) ([]byte, error) {
 		key := fmt.Sprintf("acc/%d", toI64(args[8:]))
 		cur, _, err := tx.Get(key)
@@ -65,11 +77,6 @@ func newBankRuntimeParts(t *testing.T, name string, partitions int) *Runtime {
 		}
 		return nil, tx.Put(to, i64(toI64(tb)+amount))
 	})
-	if err := r.Start(); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(r.Stop)
-	return r
 }
 
 func deposit(t *testing.T, r *Runtime, req string, acc, amount int64) {

@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The WAL's own cost curve, pinned independently of the core runtime that
+// sits on top of it: per-record Append vs group AppendBatch across batch
+// sizes and fsync policies. The headline ratio is fsync amortization —
+// AppendBatch pays one fsync for N records where Append pays N — and the
+// no-fsync rows isolate the syscall/buffer cost of batching alone.
+// records/s is the comparable unit across rows (ns/op measures one *batch*
+// for AppendBatch).
+
+var benchPolicies = []struct {
+	name string
+	opts Options
+}{
+	{"fsync=batch", Options{SyncOnAppend: true}},
+	{"fsync=1ms", Options{SyncInterval: time.Millisecond}},
+	{"fsync=none", Options{}},
+}
+
+func benchPayloads(n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, size)
+		copy(p, fmt.Sprintf("record-%d", i))
+		out[i] = p
+	}
+	return out
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range benchPolicies {
+		b.Run(pol.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), pol.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := benchPayloads(1, 256)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, batch := range []int{1, 8, 64, 256} {
+		for _, pol := range benchPolicies {
+			b.Run(fmt.Sprintf("batch=%d/%s", batch, pol.name), func(b *testing.B) {
+				l, err := Open(b.TempDir(), pol.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				payloads := benchPayloads(batch, 256)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := l.AppendBatch(payloads); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
+	}
+}
+
+// BenchmarkMerkleRoot prices the integrity header each core group append
+// adds on top of the raw batch write.
+func BenchmarkMerkleRoot(b *testing.B) {
+	for _, batch := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			payloads := benchPayloads(batch, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MerkleRoot(payloads)
+			}
+		})
+	}
+}

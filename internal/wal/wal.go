@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Common WAL errors.
@@ -43,10 +44,16 @@ const headerSize = 8
 type Options struct {
 	// SegmentSize is the maximum byte size of one segment file.
 	SegmentSize int64
-	// SyncOnAppend fsyncs after every append. Slower but loses nothing on
-	// crash. When false, durability is up to the OS page cache (the
-	// trade-off every message broker exposes).
+	// SyncOnAppend fsyncs after every append (one fsync per AppendBatch
+	// call, however many records the batch carries — the group-commit
+	// amortization). Slower but loses nothing on crash. When false,
+	// durability is up to the OS page cache (the trade-off every message
+	// broker exposes).
 	SyncOnAppend bool
+	// SyncInterval, when positive and SyncOnAppend is false, runs a
+	// background flusher that fsyncs the active segment every interval —
+	// the bounded-loss middle ground between per-batch fsync and none.
+	SyncInterval time.Duration
 }
 
 // DefaultOptions returns 4 MiB segments without per-append fsync.
@@ -67,6 +74,9 @@ type Log struct {
 	activeID uint64
 	next     uint64 // next record index (monotone across segments)
 	segments []uint64
+
+	flushStop chan struct{} // interval flusher, when SyncInterval is set
+	flushDone chan struct{}
 }
 
 // Open opens (or creates) a log in dir.
@@ -90,7 +100,33 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l.next = n
+	if opts.SyncInterval > 0 && !opts.SyncOnAppend {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.runFlusher(opts.SyncInterval, l.flushStop, l.flushDone)
+	}
 	return l, nil
+}
+
+// runFlusher fsyncs the active segment every interval until Close. A sync
+// error here is unreported (the next Append/Sync surfaces it); the flusher
+// only bounds how much an otherwise-unsynced log can lose.
+func (l *Log) runFlusher(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.active.Sync()
+			}
+			l.mu.Unlock()
+		}
+	}
 }
 
 func (l *Log) loadSegments() error {
@@ -178,6 +214,72 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	idx := l.next
 	l.next++
 	return idx, nil
+}
+
+// AppendBatch writes all payloads as consecutive records with one buffered
+// write and (under SyncOnAppend) one fsync — the group commit a per-record
+// Append cannot amortize. Returns the index of the first record; the batch
+// occupies [first, first+len(payloads)). Records are packed into the
+// active segment until it fills, so a batch may span a segment roll, but
+// the common case is a single write syscall. An empty batch is a no-op.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	for _, p := range payloads {
+		if rec := int64(headerSize + len(p)); rec > l.opts.SegmentSize {
+			return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, rec, l.opts.SegmentSize)
+		}
+	}
+	first := l.next
+	buf := make([]byte, 0, batchSize(payloads))
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := l.active.Write(buf); err != nil {
+			return fmt.Errorf("wal: write batch: %w", err)
+		}
+		l.activeSz += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	for _, p := range payloads {
+		rec := int64(headerSize + len(p))
+		if l.activeSz+int64(len(buf))+rec > l.opts.SegmentSize {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+			if err := l.roll(); err != nil {
+				return 0, err
+			}
+		}
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(p, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	if l.opts.SyncOnAppend && len(payloads) > 0 {
+		if err := l.active.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.next = first + uint64(len(payloads))
+	return first, nil
+}
+
+func batchSize(payloads [][]byte) int {
+	n := 0
+	for _, p := range payloads {
+		n += headerSize + len(p)
+	}
+	return n
 }
 
 func (l *Log) roll() error {
@@ -280,6 +382,54 @@ func (l *Log) replaySegment(id uint64, last bool, fn func([]byte) error) error {
 	}
 }
 
+// TrimTorn truncates the active segment to its last fully-valid record,
+// discarding any torn tail bytes a crash left behind. Without the trim,
+// appends after a reopen would land *after* the torn bytes — durable but
+// unreachable, since Replay stops at the tear. Returns the number of bytes
+// dropped. Only the active (last) segment can carry a tear: rolls sync and
+// close their segment before moving on.
+func (l *Log) TrimTorn() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	f, err := os.Open(l.segPath(l.activeID))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: open for trim: %w", err)
+	}
+	var valid int64
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // invalid suffix starts here
+		}
+		valid += int64(headerSize) + int64(n)
+	}
+	f.Close()
+	dropped := l.activeSz - valid
+	if dropped <= 0 {
+		return 0, nil
+	}
+	if err := l.active.Truncate(valid); err != nil {
+		return 0, fmt.Errorf("wal: trim: %w", err)
+	}
+	l.activeSz = valid
+	return dropped, nil
+}
+
 // Truncate removes all records and starts an empty log (used after a
 // checkpoint has made the log prefix redundant).
 func (l *Log) Truncate() error {
@@ -301,8 +451,21 @@ func (l *Log) Truncate() error {
 	return l.openActive()
 }
 
-// Close flushes and closes the log.
+// Close flushes and closes the log (stopping the interval flusher, when
+// one is running).
 func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	stop, done := l.flushStop, l.flushDone
+	l.flushStop, l.flushDone = nil, nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {

@@ -151,13 +151,27 @@ func TestConcurrentSubmitMatchesSerialReference(t *testing.T) {
 // flight and recovering must resolve every one of them — exactly once
 // (double resolution would close a closed channel and panic), with the
 // effects applied exactly once, and with later retries of the same
-// request ids served from the result cache without re-execution.
+// request ids served from the result cache without re-execution. The
+// contract must hold identically whether durability is the modeled
+// SequenceDelay or the real write-ahead log (Options.LogDir), so the
+// same body runs against both.
 func TestCoreHandlesResolveExactlyOnceAcrossCrashReplay(t *testing.T) {
+	t.Run("model", func(t *testing.T) {
+		// SequenceDelay slows the paced log consumption so the crash
+		// lands with most handles still unresolved.
+		crashReplayHandles(t, Options{SequenceDelay: 300 * time.Microsecond})
+	})
+	t.Run("wal", func(t *testing.T) {
+		// The real log: handles acknowledge after a fsynced group append,
+		// and recovery replays from disk through Merkle verification.
+		crashReplayHandles(t, Options{LogDir: t.TempDir(), Fsync: FsyncEveryBatch})
+	})
+}
+
+func crashReplayHandles(t *testing.T, opts Options) {
 	const ops, accounts, amount = 40, 4, 5
 	env := NewEnv(21, 3)
-	// SequenceDelay slows the paced log consumption so the crash lands
-	// with most handles still unresolved.
-	cell, err := DeployWith(Deterministic, BankApp(), env, Options{SequenceDelay: 300 * time.Microsecond})
+	cell, err := DeployWith(Deterministic, BankApp(), env, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

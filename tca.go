@@ -91,12 +91,40 @@
 // (E20 in EXPERIMENTS.md) drives every cell this way through
 // workload.ClosedLoop; the rest of the bench suite (bench_test.go) covers
 // every other experiment.
+//
+// # Durability
+//
+// By default the Deterministic cell's log lives in the in-memory broker
+// and its append cost is modeled (Options.SequenceDelay). Setting
+// Options.LogDir puts a real segmented write-ahead log (internal/wal)
+// under it instead: every group of concurrent submissions becomes one
+// group append — a header record carrying the group's Merkle root, then
+// the member records, written in one buffered write and made durable per
+// Options.Fsync (every batch, a ~1ms interval, or the OS page cache)
+// before the broker, and so the scheduler, sees the group. Submit
+// acknowledges after that append: on the every-batch policy,
+// acknowledged means fsynced. Options.MaxGroupAppend caps the group
+// size, trading acknowledgment latency against how many transactions
+// amortize each fsync — E22 (BenchmarkE22_DurabilityFrontier) maps that
+// frontier.
+//
+// On Start the cell replays the logs from disk before accepting traffic,
+// re-verifying each group against its Merkle root: a partial group at
+// the tail of the stream is a torn write from a crash mid-append — it is
+// counted (core.wal_torn_batches), dropped, and the log is rewritten to
+// the last complete group; a root mismatch anywhere else means the bytes
+// on disk are not the bytes that were acknowledged, and Start refuses
+// with core.ErrLogTampered rather than replaying corrupted history.
+// Because groups persist before the broker sees them, the disk order and
+// the topic order agree, so replay rebuilds the identical schedule and
+// in-flight Handles resolve exactly once across a crash.
 package tca
 
 import (
 	"fmt"
 	"time"
 
+	"tca/internal/core"
 	"tca/internal/fabric"
 	"tca/internal/mq"
 )
@@ -221,9 +249,37 @@ type Options struct {
 	// SequenceDelay models the Deterministic cell's per-record durable
 	// log-append latency (core.Config.SequenceDelay — the fsync/replication
 	// await group appends amortize across concurrent submissions). Zero
-	// disables the model. Other models ignore it.
+	// disables the model. Other models ignore it, and LogDir supersedes it:
+	// a real log's own append+fsync cost replaces the model.
 	SequenceDelay time.Duration
+	// LogDir, when set, backs the Deterministic cell with a real durable
+	// write-ahead log under that directory: group appends persist (one
+	// buffered write + fsync per the policy, with a Merkle root over each
+	// group's members) before the broker sees them, and startup replays the
+	// logs through verification. See the package doc's Durability section.
+	// Other models ignore it.
+	LogDir string
+	// Fsync selects the durable log's sync policy in LogDir mode:
+	// FsyncEveryBatch (default), FsyncInterval, or FsyncNone. E22 sweeps
+	// this knob against MaxGroupAppend.
+	Fsync FsyncPolicy
+	// MaxGroupAppend caps how many concurrent submissions the Deterministic
+	// cell packs into one group log append (zero = the runtime's default,
+	// 128). E22 sweeps it to map batch size against fsync policy.
+	MaxGroupAppend int
 }
+
+// FsyncPolicy selects when the Deterministic cell's durable log forces
+// appends to stable storage (Options.LogDir mode).
+type FsyncPolicy = core.FsyncPolicy
+
+// The durable log's sync policies: fsync before every group-append
+// acknowledgment, fsync on a ~1ms timer, or leave it to the OS page cache.
+const (
+	FsyncEveryBatch = core.FsyncEveryBatch
+	FsyncInterval   = core.FsyncInterval
+	FsyncNone       = core.FsyncNone
+)
 
 // Guarantee describes what a deployment cell actually promises — the
 // honesty layer of the taxonomy.
