@@ -1,7 +1,7 @@
 # verify is what CI runs (.github/workflows/ci.yml): formatting, vet,
 # build, the full test suite under the race detector, and a one-iteration
 # benchmark smoke pass so bench-only code paths can't rot unbuilt.
-.PHONY: verify fmt test bench bench-smoke bench-json
+.PHONY: verify fmt test bench bench-smoke bench-json bench-gate
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -28,11 +28,14 @@ bench:
 # binary's own flag surface, so the incremental-auditor path can't rot;
 # the E22 pass drives real-WAL core cells on throwaway temp-dir logs
 # (removed when the run ends), so the durable-log path gets a real
-# append+fsync+replay smoke on every verify.
+# append+fsync+replay smoke on every verify; the E23 pass measures a
+# capacity and sweeps offered load past it through the admission-control
+# path (bounded queues, typed sheds, open-loop reservoirs) on every cell.
 bench-smoke:
 	go test -bench . -benchtime 1x -run '^$$'
 	go run ./cmd/tcabench -experiment e21 -ops 24 > /dev/null
 	go run ./cmd/tcabench -experiment e22 -ops 64 > /dev/null
+	go run ./cmd/tcabench -experiment e23 -ops 16 > /dev/null
 
 # bench-json writes a machine-readable summary of the headline
 # experiments to BENCH_latest.json so the perf trajectory can be tracked
@@ -41,3 +44,22 @@ BENCH_OPS ?= 300
 bench-json:
 	go run ./cmd/tcabench -json -ops $(BENCH_OPS) > BENCH_latest.json
 	@echo "wrote BENCH_latest.json"
+
+# bench-gate is the pinned regression gate: rerun the E10 load-model grid
+# and diff it against the checked-in baseline (ci/bench_baseline.json),
+# failing on any throughput delta beyond ±20%. E10 is the gate because
+# its service is workload.SpinService(1, 100µs) — capacity 10k ops/s by
+# construction, wall-clock spin, one slot — so its throughputs are pinned
+# by the harness, not the host: a regression here means the driver or
+# admission path got slower, on any machine. Regenerate the baseline
+# (deliberately, with the same GATE_OPS) only when the harness itself
+# changes:  go run ./cmd/tcabench -experiment e10 -ops 8000 -json > ci/bench_baseline.json
+# GATE_OPS is sized so the saturated open-loop row runs long enough to
+# settle: at 2000 ops its throughput swings ~30% run to run; at 8000 the
+# spread is ~7%, comfortably inside the ±20% gate.
+GATE_OPS ?= 8000
+bench-gate:
+	@tmp=$$(mktemp); \
+	go run ./cmd/tcabench -experiment e10 -ops $(GATE_OPS) -json > $$tmp || { rm -f $$tmp; exit 1; }; \
+	go run ./cmd/tcabench -compare -threshold 20 ci/bench_baseline.json $$tmp; \
+	status=$$?; rm -f $$tmp; exit $$status

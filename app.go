@@ -273,7 +273,7 @@ func DeployWith(model ProgrammingModel, app *App, env *Env, opts Options) (Cell,
 	case CloudFunctions:
 		return newFaasCell(app, env, opts), nil
 	case StatefulDataflow:
-		return newStatefunCell(app, env)
+		return newStatefunCell(app, env, opts)
 	case Deterministic:
 		return newCoreCell(app, env, opts)
 	default:

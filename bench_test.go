@@ -12,6 +12,7 @@ package tca
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -1156,6 +1157,8 @@ func BenchmarkE20_ConcurrencyMatrix(b *testing.B) {
 					b.ReportMetric(res.Throughput(), "tx/s")
 					b.ReportMetric(float64(res.AcceptP50)/1e3, "accept-us/op")
 					b.ReportMetric(float64(res.ApplyP50)/1e3, "apply-us/op")
+					b.ReportMetric(float64(res.AcceptP99)/1e3, "accept-p99-us")
+					b.ReportMetric(float64(res.ApplyP99)/1e3, "apply-p99-us")
 					b.ReportMetric(float64(res.Rejected), "rejected")
 					b.ReportMetric(float64(len(res.Anomalies)), "anomalies")
 					b.ReportMetric(float64(res.Violations), "violations")
@@ -1283,6 +1286,73 @@ func BenchmarkE22_DurabilityFrontier(b *testing.B) {
 					b.ReportMetric(float64(b.N)/float64(appends), "records/append")
 				}
 			})
+		}
+	}
+}
+
+// --- E23: the overload frontier ------------------------------------------------------------------
+
+// e23Capacity caches each (mix, model) cell's measured closed-loop peak
+// so the sweep's rows all offer multiples of the same calibration —
+// re-measuring per row would let calibration noise move the x-axis
+// between shed=on and shed=off.
+var e23Capacity = struct {
+	sync.Mutex
+	m map[string]float64
+}{m: map[string]float64{}}
+
+func e23CapacityFor(b *testing.B, mix string, model ProgrammingModel) float64 {
+	e23Capacity.Lock()
+	defer e23Capacity.Unlock()
+	key := fmt.Sprintf("%s/%s", mix, model)
+	if c, ok := e23Capacity.m[key]; ok {
+		return c
+	}
+	c, err := MeasureCellCapacity(mix, model, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if c <= 0 {
+		b.Fatalf("measured non-positive capacity for %s", key)
+	}
+	e23Capacity.m[key] = c
+	return c
+}
+
+// BenchmarkE23_OverloadFrontier maps the open-loop saturation frontier:
+// every cell, offered Poisson arrivals at 0.5×–4× its measured
+// closed-loop capacity, with admission control on (the default bounded
+// queues, excess shed as ErrOverloaded) and off (the legacy unbounded
+// queues). The open loop keeps offering regardless of how the cell keeps
+// up, so the two configurations diverge exactly at saturation: with
+// shedding, goodput holds near the frontier and the accept tail stays
+// bounded (rejection is ~constant-time); without it, arrivals queue
+// without limit, the accept tail grows with the backlog, and goodput
+// collapses as the run's elapsed time stretches to drain work nobody is
+// waiting for. shed-% is the admission verdict rate — near zero below
+// capacity, climbing toward (1 − 1/mult) past it. The driver is
+// tca.RunOverloadCell, shared with cmd/tcabench (e23).
+func BenchmarkE23_OverloadFrontier(b *testing.B) {
+	for _, mix := range ConcurrencyMixes {
+		for _, model := range allModels {
+			for _, shedOn := range []bool{true, false} {
+				for _, mult := range []float64{0.5, 1, 2, 4} {
+					b.Run(fmt.Sprintf("%s/%s/shed=%v/offered=%gx", mix, model, shedOn, mult), func(b *testing.B) {
+						capacity := e23CapacityFor(b, mix, model)
+						b.ResetTimer()
+						res, err := RunOverloadCell(mix, model, capacity*mult, b.N,
+							OverloadOptions{Shed: shedOn, LogDir: b.TempDir(), Seed: 7})
+						b.StopTimer()
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(res.Goodput(), "goodput/s")
+						b.ReportMetric(100*res.ShedFraction(), "shed-%")
+						b.ReportMetric(float64(res.AcceptP999)/1e3, "accept-p999-us")
+						b.ReportMetric(float64(res.ApplyP999)/1e3, "apply-p999-us")
+					})
+				}
+			}
 		}
 	}
 }

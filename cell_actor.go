@@ -21,7 +21,7 @@ type actorCell struct {
 
 func newActorCell(app *App, env *Env, opts Options) *actorCell {
 	sys := actor.NewSystem(env.Cluster, actor.Config{})
-	return &actorCell{app: app, sys: sys, coord: actor.NewCoordinator(sys), pool: newSubmitPool(opts.Clients)}
+	return &actorCell{app: app, sys: sys, coord: actor.NewCoordinator(sys), pool: newSubmitPool(Actors, opts.Clients, opts.MaxPending)}
 }
 
 func (c *actorCell) ref(key string) actor.Ref {

@@ -1,6 +1,7 @@
 package tca
 
 import (
+	"errors"
 	"time"
 
 	"tca/internal/core"
@@ -18,6 +19,19 @@ type coreCell struct {
 }
 
 func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
+	// Admission control: the batcher queue bound defaults to 4× the group
+	// size (a queue that can feed four full group appends); Options
+	// semantics — negative disables — map onto the runtime's zero = legacy.
+	maxPending := opts.MaxPending
+	if maxPending == 0 {
+		group := opts.MaxGroupAppend
+		if group <= 0 {
+			group = 128
+		}
+		maxPending = 4 * group
+	} else if maxPending < 0 {
+		maxPending = 0
+	}
 	rt := core.NewRuntime(env.Broker, core.Config{
 		Name:           "cell-" + app.Name(),
 		Cluster:        env.Cluster,
@@ -27,6 +41,7 @@ func newCoreCell(app *App, env *Env, opts Options) (*coreCell, error) {
 		LogDir:         opts.LogDir,
 		Fsync:          opts.Fsync,
 		MaxGroupAppend: opts.MaxGroupAppend,
+		MaxPending:     maxPending,
 	})
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)
@@ -92,6 +107,10 @@ func (c *coreCell) Submit(reqID, opName string, args []byte, tr *fabric.Trace) H
 	}
 	h, err := c.rt.SubmitAsync(reqID, op.Name, c.app.keysOf(op, args), args, tr)
 	if err != nil {
+		var oe *core.OverloadError
+		if errors.As(err, &oe) {
+			return shedHandle(Deterministic, oe.Pending, oe.RetryAfter)
+		}
 		return resolvedHandle(nil, err)
 	}
 	return h

@@ -20,7 +20,7 @@ type faasCell struct {
 }
 
 func newFaasCell(app *App, env *Env, opts Options) *faasCell {
-	c := &faasCell{app: app, p: faas.NewPlatform(env.Cluster, faas.DefaultConfig()), pool: newSubmitPool(opts.Clients)}
+	c := &faasCell{app: app, p: faas.NewPlatform(env.Cluster, faas.DefaultConfig()), pool: newSubmitPool(CloudFunctions, opts.Clients, opts.MaxPending)}
 	for _, name := range app.Ops() {
 		op, _ := app.Op(name)
 		c.p.Register(op.Name, func(ctx *faas.Ctx, payload []byte) ([]byte, error) {

@@ -112,7 +112,7 @@ func newMicroCell(app *App, env *Env, opts Options) *microCell {
 			return resp, err
 		}))
 	}
-	return &microCell{app: app, dep: dep, orch: saga.NewOrchestrator(nil), pool: newSubmitPool(opts.Clients)}
+	return &microCell{app: app, dep: dep, orch: saga.NewOrchestrator(nil), pool: newSubmitPool(Microservices, opts.Clients, opts.MaxPending)}
 }
 
 func shardService(app *App, shard int) string {

@@ -48,9 +48,13 @@ type statefunCell struct {
 	// resolvers holds the in-flight Submit handles by reqID, resolved when
 	// the choreography's result record lands on the egress. The egress
 	// callback is at-least-once, so resolution is remove-then-resolve (and
-	// the handle itself resolves idempotently).
-	resMu     sync.Mutex
-	resolvers map[string]sfPending
+	// the handle itself resolves idempotently). Its size is the cell's
+	// acknowledged-not-yet-applied watermark: maxInflight bounds it
+	// (Options.MaxPending; 0 = unbounded), and Submit sheds at the bound —
+	// before the ingress produce, so a shed op never enters the dataflow.
+	resMu       sync.Mutex
+	resolvers   map[string]sfPending
+	maxInflight int
 
 	// handlerErrs counts handler invocations that returned an error —
 	// the cell's honest drop count, which the conformance tests pin to
@@ -118,11 +122,25 @@ const (
 	sfTxnFn = "txn"
 )
 
-func newStatefunCell(app *App, env *Env) (*statefunCell, error) {
+// sfDefaultMaxInflight is the default bound on acknowledged-not-yet-applied
+// ingress records (Options.MaxPending == 0). The dataflow cell pipelines
+// deeply by design, so its default headroom is wider than the worker-pool
+// cells'; what matters is that it is finite — open-loop overload otherwise
+// grows the ingress backlog, and every apply latency, without bound.
+const sfDefaultMaxInflight = 1024
+
+func newStatefunCell(app *App, env *Env, opts Options) (*statefunCell, error) {
+	maxInflight := opts.MaxPending
+	if maxInflight == 0 {
+		maxInflight = sfDefaultMaxInflight
+	} else if maxInflight < 0 {
+		maxInflight = 0 // legacy: unbounded ingress
+	}
 	c := &statefunCell{
-		app:       app,
-		probes:    make(map[string]chan sfProbeResp),
-		resolvers: make(map[string]sfPending),
+		app:         app,
+		probes:      make(map[string]chan sfProbeResp),
+		resolvers:   make(map[string]sfPending),
+		maxInflight: maxInflight,
 	}
 	sf := statefun.NewApp(env.Broker, statefun.Config{
 		Name: "cell-" + app.Name(), Parallelism: 2, Ingress: "cell-" + app.Name() + "-ingress",
@@ -516,6 +534,14 @@ func (c *statefunCell) Submit(reqID, opName string, args []byte, tr *fabric.Trac
 		c.resMu.Unlock()
 		tr.Charge(time.Millisecond / 2)
 		return prev.h
+	}
+	if c.maxInflight > 0 && len(c.resolvers) >= c.maxInflight {
+		// The acknowledged-not-yet-applied watermark is at its bound:
+		// shed before the ingress produce, so the op never enters the
+		// dataflow — nothing to un-apply, nothing for the auditor.
+		depth := len(c.resolvers)
+		c.resMu.Unlock()
+		return shedHandle(StatefulDataflow, depth, time.Millisecond)
 	}
 	c.resolvers[reqID] = sfPending{h: h, tr: tr}
 	c.resMu.Unlock()

@@ -57,14 +57,19 @@ func (r *reporter) add(exp, row string, m map[string]float64) {
 // the raw harness.
 var auditOn = true
 
+// arrivalMode is the -arrival selection for e23's open-loop stream.
+var arrivalMode = "poisson"
+
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21,e22 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23 (or all)")
 	jsonOut := flag.Bool("json", false,
 		"emit a machine-readable JSON summary on stdout instead of tables")
 	audit := flag.String("audit", "live",
 		"concurrency-experiment auditing: live (incremental auditors inside the loop) or off")
+	arrival := flag.String("arrival", "poisson",
+		"e23 arrival process: poisson (smooth) or bursty (2-state MMPP, same mean rate)")
 	compare := flag.Bool("compare", false,
 		"compare two -json summaries instead of running: tcabench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 20,
@@ -86,6 +91,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcabench: unknown -audit mode %q (use live or off)\n", *audit)
 		os.Exit(2)
 	}
+	switch *arrival {
+	case "poisson", "bursty":
+		arrivalMode = *arrival
+	default:
+		fmt.Fprintf(os.Stderr, "tcabench: unknown -arrival process %q (use poisson or bursty)\n", *arrival)
+		os.Exit(2)
+	}
 
 	known := []struct {
 		name string
@@ -101,6 +113,7 @@ func main() {
 		{"e20", runE20},
 		{"e21", runE21},
 		{"e22", runE22},
+		{"e23", runE23},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -110,7 +123,7 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21,e22 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -570,7 +583,7 @@ func runE19(w *tabwriter.Writer, rep *reporter, ops int) {
 // cycles. -audit=off drops the auditor and the last four columns.
 func runE20(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E20: concurrency matrix — pipelined Sessions, accept vs apply latency, audited live")
-	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s\taccept-p50\tapply-p50\trejected\tanomalies\tviol\treorder\tcycles")
+	fmt.Fprintln(w, "mix\tmodel\tclients\ttx/s\taccept-p50\taccept-p99\tapply-p50\tapply-p99\trejected\tanomalies\tviol\treorder\tcycles")
 	for _, mix := range tca.ConcurrencyMixes {
 		for _, clients := range []int{1, 4, 16, 64} {
 			for _, model := range allModels {
@@ -580,14 +593,17 @@ func runE20(w *tabwriter.Writer, rep *reporter, ops int) {
 					fmt.Fprintf(w, "%s\t%v\t%d\terror: %v\n", mix, model, clients, err)
 					continue
 				}
-				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%v\t%v\t%d\t%d\t%d\t%d\t%d\n",
+				fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%v\t%v\t%v\t%v\t%d\t%d\t%d\t%d\t%d\n",
 					mix, model, clients, res.Throughput(),
-					res.AcceptP50.Round(time.Microsecond), res.ApplyP50.Round(time.Microsecond),
+					res.AcceptP50.Round(time.Microsecond), res.AcceptP99.Round(time.Microsecond),
+					res.ApplyP50.Round(time.Microsecond), res.ApplyP99.Round(time.Microsecond),
 					res.Rejected, len(res.Anomalies), res.Violations, res.Reordered, res.GraphCycles)
 				rep.add("e20", fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), map[string]float64{
 					"tx_s":          res.Throughput(),
 					"accept_p50_us": float64(res.AcceptP50) / 1e3,
+					"accept_p99_us": float64(res.AcceptP99) / 1e3,
 					"apply_p50_us":  float64(res.ApplyP50) / 1e3,
+					"apply_p99_us":  float64(res.ApplyP99) / 1e3,
 					"rejected":      float64(res.Rejected),
 					"anomalies":     float64(len(res.Anomalies)),
 					"violations":    float64(res.Violations),
@@ -799,11 +815,60 @@ func runE22Cell(batch int, policy core.FsyncPolicy, ops int) (rate float64, p99 
 		time.Duration(accept.Snapshot().P99), perAppend, nil
 }
 
+// runE23 prints the overload frontier: every cell offered an open-loop
+// stream (Poisson by default, bursty MMPP with -arrival=bursty) at
+// multiples of its measured closed-loop capacity, with the default
+// bounded admission control on and off. With shedding, goodput holds
+// near the frontier past saturation and the accept tail stays bounded
+// (rejection is ~constant-time); without it, the legacy unbounded queues
+// absorb every arrival, the accept tail grows with the backlog, and
+// goodput collapses. The driver is tca.RunOverloadCell, shared with
+// BenchmarkE23_OverloadFrontier.
+func runE23(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintf(w, "E23: overload frontier — open-loop %s arrivals at multiples of measured capacity\n", arrivalMode)
+	fmt.Fprintln(w, "mix\tmodel\tshed\toffered\trate/s\tgoodput/s\tshed-%\taccept-p999\tapply-p999")
+	for _, mix := range tca.ConcurrencyMixes {
+		for _, model := range allModels {
+			capacity, err := tca.MeasureCellCapacity(mix, model, ops)
+			if err != nil {
+				fmt.Fprintf(w, "%s\t%v\terror: %v\n", mix, model, err)
+				continue
+			}
+			for _, shed := range []bool{true, false} {
+				for _, mult := range []float64{0.5, 1, 2, 4} {
+					res, err := tca.RunOverloadCell(mix, model, capacity*mult, ops, tca.OverloadOptions{
+						Arrival: arrivalMode,
+						Shed:    shed,
+						LogDir:  os.TempDir(),
+						Seed:    7,
+					})
+					if err != nil {
+						fmt.Fprintf(w, "%s\t%v\t%v\t%gx\terror: %v\n", mix, model, shed, mult, err)
+						continue
+					}
+					fmt.Fprintf(w, "%s\t%v\t%v\t%gx\t%.0f\t%.0f\t%.1f%%\t%v\t%v\n",
+						mix, model, shed, mult, res.Offered, res.Goodput(),
+						100*res.ShedFraction(),
+						res.AcceptP999.Round(time.Microsecond), res.ApplyP999.Round(time.Microsecond))
+					rep.add("e23", fmt.Sprintf("%s/%s/shed=%v/offered=%gx", mix, model, shed, mult), map[string]float64{
+						"offered_s":      res.Offered,
+						"goodput_s":      res.Goodput(),
+						"shed_pct":       100 * res.ShedFraction(),
+						"accept_p999_us": float64(res.AcceptP999) / 1e3,
+						"apply_p999_us":  float64(res.ApplyP999) / 1e3,
+					})
+				}
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
 // throughputMetrics are the metric keys -compare treats as "bigger is
 // better" rates worth flagging; latency and anomaly counts are reported
 // but never flagged (they swing with machine load at tcabench's quick
 // -ops scales).
-var throughputMetrics = []string{"tx_s", "ops_s", "query_s", "tx_s_audited", "tx_s_off"}
+var throughputMetrics = []string{"tx_s", "ops_s", "query_s", "tx_s_audited", "tx_s_off", "goodput_s"}
 
 // benchSummary is the -json document shape (what BENCH_latest.json holds).
 type benchSummary struct {

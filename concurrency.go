@@ -2,6 +2,7 @@ package tca
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -48,14 +49,20 @@ type ConcurrencyOptions struct {
 // ConcurrencyResult is one cell of the concurrency matrix.
 type ConcurrencyResult struct {
 	// Issued counts submissions; Rejected those whose handles resolved
-	// with an error (business aborts, exhausted 2PL retries).
+	// with an error (business aborts, exhausted 2PL retries, sheds the
+	// session's retry budget could not absorb).
 	Issued, Rejected int64
+	// Shed counts the Rejected subset that failed with ErrOverloaded
+	// after the session exhausted its retry budget.
+	Shed int64
 	// Elapsed spans first submission to settled state.
 	Elapsed time.Duration
 	// AcceptP50 is the median Session.Submit-to-acknowledgment time,
 	// ApplyP50 the median Submit-to-Handle-resolution time — the per-cell
-	// accept/apply split.
+	// accept/apply split. The P99s are the same distributions' tails,
+	// from a bounded reservoir.
 	AcceptP50, ApplyP50 time.Duration
+	AcceptP99, ApplyP99 time.Duration
 	// Anomalies are the final divergences the order verdict could not
 	// attribute to any serializable completion order.
 	Anomalies []string
@@ -273,7 +280,9 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 	}
 
 	acceptHist, applyHist := metrics.NewHistogram(), metrics.NewHistogram()
-	var rejected atomic.Int64
+	acceptRes := workload.NewLatencyReservoir(0, 1)
+	applyRes := workload.NewLatencyReservoir(0, 2)
+	var rejected, shed atomic.Int64
 	var auditSeq atomic.Int64
 	var inflight sync.WaitGroup
 	start := time.Now()
@@ -288,20 +297,30 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 		}
 		t0 := time.Now()
 		h := cl.sess.Submit(name, args, nil)
-		acceptHist.RecordDuration(time.Since(t0))
+		d := time.Since(t0)
+		acceptHist.RecordDuration(d)
+		acceptRes.Record(d)
 		inflight.Add(1)
 		go func() {
 			defer inflight.Done()
 			<-h.Done()
-			applyHist.RecordDuration(time.Since(t0))
+			d := time.Since(t0)
+			applyHist.RecordDuration(d)
+			applyRes.Record(d)
 			_, opErr := h.Result()
 			if opErr != nil {
 				rejected.Add(1)
+				if errors.Is(opErr, ErrOverloaded) {
+					shed.Add(1)
+				}
 			}
 			if aud == nil {
 				return
 			}
-			if opErr != nil && model != StatefulDataflow {
+			// A shed op never entered any cell's pipeline — discard its
+			// intent on every model, including the eventual cell whose
+			// accepted errors otherwise still apply.
+			if opErr != nil && (model != StatefulDataflow || errors.Is(opErr, ErrOverloaded)) {
 				aud.Discard(auditID)
 				return
 			}
@@ -335,9 +354,12 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 	out := ConcurrencyResult{
 		Issued:    res.Issued,
 		Rejected:  rejected.Load(),
+		Shed:      shed.Load(),
 		Elapsed:   elapsed,
 		AcceptP50: time.Duration(acceptHist.Snapshot().P50),
 		ApplyP50:  time.Duration(applyHist.Snapshot().P50),
+		AcceptP99: acceptRes.P99(),
+		ApplyP99:  applyRes.P99(),
 	}
 	if aud != nil {
 		anomalies, err := aud.Verify(cell)
@@ -349,6 +371,254 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 		out.Violations = stats.LiveViolations
 		out.Reordered = stats.Reordered
 		out.GraphCycles = stats.GraphCycles
+		out.Audited = true
+	}
+	return out, nil
+}
+
+// MeasureCellCapacity estimates one (mix, model) cell's peak closed-loop
+// throughput: 16 pipelined clients, auditing off, the deterministic cell
+// on a real temp-dir log. The E23 sweep offers multiples of this number.
+func MeasureCellCapacity(mix string, model ProgrammingModel, ops int) (float64, error) {
+	r, err := RunConcurrencyCellOpts(mix, model, 16, ops, ConcurrencyOptions{LogDir: os.TempDir()})
+	if err != nil {
+		return 0, err
+	}
+	return r.Throughput(), nil
+}
+
+// OverloadOptions tunes one open-loop overload run.
+type OverloadOptions struct {
+	// Arrival selects the arrival process: "poisson" (default, smooth) or
+	// "bursty" (a 2-state MMPP at the same mean rate with 4× bursts).
+	Arrival string
+	// Shed enables admission control: the cell runs with a tight bounded
+	// queue (Options.MaxPending = 64) and rejects excess load with
+	// ErrOverloaded. Off (false) disables the bounds (MaxPending = -1) —
+	// the pre-admission-control behavior, where overload queues without
+	// limit instead of shedding.
+	Shed bool
+	// Audit runs the mix's Auditor live during the overload run and the
+	// final precedence-graph Verify — the conformance configuration: a
+	// shed op must never surface as an anomaly or violation.
+	Audit bool
+	// LogDir backs the deterministic cell with a real durable log, as in
+	// ConcurrencyOptions.
+	LogDir string
+	// Seed fixes the arrival schedule and op streams (zero means 1).
+	Seed int64
+}
+
+// OverloadResult is one point on the E23 saturation frontier.
+type OverloadResult struct {
+	// Offered is the arrival rate the run targeted (ops/second).
+	Offered float64
+	// Issued counts arrivals; Shed those rejected with ErrOverloaded;
+	// Failed those that were accepted but resolved with any other error.
+	Issued, Shed, Failed int64
+	// Elapsed spans the first arrival to the last handle resolution.
+	Elapsed time.Duration
+	// Accept latencies run from each arrival's *scheduled* time to the
+	// cell's admission verdict, so queueing delay counts (open loop);
+	// Apply latencies run from the same origin to handle resolution, for
+	// accepted ops only.
+	AcceptP50, AcceptP99, AcceptP999 time.Duration
+	ApplyP99, ApplyP999              time.Duration
+	// Anomalies and Violations are the audit verdict when Audit was on.
+	Anomalies  []string
+	Violations int
+	Audited    bool
+}
+
+// Completed returns how many arrivals were accepted and applied.
+func (r OverloadResult) Completed() int64 { return r.Issued - r.Shed - r.Failed }
+
+// Goodput returns completed (accepted and applied) ops per second —
+// the number that stays flat past saturation with shedding on and
+// collapses with it off.
+func (r OverloadResult) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed()) / r.Elapsed.Seconds()
+}
+
+// ShedFraction returns the fraction of arrivals shed.
+func (r OverloadResult) ShedFraction() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Issued)
+}
+
+// RunOverloadCell deploys the mix's App under model and offers it an
+// open-loop stream of ops arrivals at the given rate (ops/second),
+// submitted directly on the Cell — no Session retries, so the shed rate
+// is the cell's own admission verdict. Arrivals keep coming regardless
+// of how the cell keeps up: with shedding off and the rate past
+// capacity, accept latency grows without bound (the legacy blocking
+// queues) and goodput collapses; with shedding on the cell rejects the
+// excess in ~constant time and goodput holds at the frontier. Latency is
+// measured from each arrival's scheduled time (queueing delay counts)
+// into bounded reservoirs.
+func RunOverloadCell(mix string, model ProgrammingModel, rate float64, ops int, o OverloadOptions) (OverloadResult, error) {
+	if rate <= 0 || ops <= 0 {
+		return OverloadResult{}, fmt.Errorf("tca: overload run needs rate > 0 and ops > 0 (got %g, %d)", rate, ops)
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env := NewEnv(1, 3)
+	opts := Options{Clients: 16, Workers: 32, SequenceDelay: 80 * time.Microsecond}
+	if o.Shed {
+		// A tight explicit bound (not the roomy defaults) so the frontier
+		// engages within an experiment-sized run on every cell.
+		opts.MaxPending = 64
+	} else {
+		opts.MaxPending = -1
+	}
+	if o.LogDir != "" && model == Deterministic {
+		dir, err := os.MkdirTemp(o.LogDir, "cell-")
+		if err != nil {
+			return OverloadResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.LogDir = dir
+	}
+	app, err := mixApp(mix)
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	cell, err := DeployWith(model, app, env, opts)
+	if err != nil {
+		return OverloadResult{}, err
+	}
+	defer cell.Close()
+
+	var aud Auditor
+	if o.Audit {
+		aud = newMixAuditor(mix)
+		defer aud.Close()
+	}
+	if err := seedMix(mix, cell, aud); err != nil {
+		return OverloadResult{}, err
+	}
+
+	var arrivals workload.ArrivalProcess
+	switch o.Arrival {
+	case "", "poisson":
+		arrivals = workload.NewPoissonArrivals(seed, rate)
+	case "bursty":
+		arrivals = workload.NewMMPPArrivals(seed, rate, 4, 10*time.Millisecond)
+	default:
+		return OverloadResult{}, fmt.Errorf("tca: unknown arrival process %q", o.Arrival)
+	}
+	stream := mixStream(mix, seed+1)
+
+	accept := workload.NewLatencyReservoir(8192, seed)
+	apply := workload.NewLatencyReservoir(8192, seed+1)
+	var shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	// finish drains one submission: classify the outcome, record apply
+	// latency for ops that entered the pipeline, and keep the auditor's
+	// intent set exact — a shed op is always Discarded.
+	finish := func(h Handle, reqID, name string, args []byte, sched time.Time) {
+		<-h.Done()
+		_, opErr := h.Result()
+		if opErr != nil {
+			if errors.Is(opErr, ErrOverloaded) {
+				shed.Add(1)
+				if aud != nil {
+					aud.Discard(reqID)
+				}
+				return
+			}
+			failed.Add(1)
+		}
+		apply.Record(time.Since(sched))
+		if aud == nil {
+			return
+		}
+		if opErr != nil && model != StatefulDataflow {
+			aud.Discard(reqID)
+			return
+		}
+		var seq int64
+		if sh, ok := h.(interface{ Seq() int64 }); ok {
+			seq = sh.Seq()
+		}
+		aud.Observe(Commit{ReqID: reqID, Op: name, Args: args, Start: sched, End: time.Now(), Seq: seq})
+	}
+	start := time.Now()
+	next := start
+	for i := 0; i < ops; i++ {
+		next = next.Add(arrivals.Gap())
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		sched := next
+		name, args := stream()
+		reqID := fmt.Sprintf("ol/%d", i)
+		if aud != nil {
+			aud.Record(reqID, name, args)
+		}
+		wg.Add(1)
+		if o.Shed && model != Deterministic {
+			// Admission control makes Submit's verdict ~immediate (a token
+			// or a shed), so the pacing loop submits inline — which is also
+			// what lets a backlog actually accumulate against the bound
+			// instead of being drained by the scheduler between arrivals —
+			// and only the await runs concurrently. The deterministic cell
+			// is the exception: its Submit return is the durable ack, whose
+			// cost amortizes only across concurrent submitters (group
+			// appends), while its admission verdict already fires at the
+			// bounded batch queue before the ack wait parks — so it takes
+			// the concurrent path below even with shedding on.
+			h := cell.Submit(reqID, name, args, nil)
+			accept.Record(time.Since(sched))
+			go func() {
+				defer wg.Done()
+				finish(h, reqID, name, args, sched)
+			}()
+		} else {
+			// Legacy queues block the submitter when full; the open loop
+			// must keep offering regardless, so each arrival submits from
+			// its own goroutine — the unbounded goroutine pile IS the
+			// unbounded queue, and the blocked time lands in the accept
+			// tail.
+			go func() {
+				defer wg.Done()
+				h := cell.Submit(reqID, name, args, nil)
+				accept.Record(time.Since(sched))
+				finish(h, reqID, name, args, sched)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := cell.Settle(); err != nil {
+		return OverloadResult{}, err
+	}
+	out := OverloadResult{
+		Offered:    rate,
+		Issued:     int64(ops),
+		Shed:       shed.Load(),
+		Failed:     failed.Load(),
+		Elapsed:    elapsed,
+		AcceptP50:  accept.P50(),
+		AcceptP99:  accept.P99(),
+		AcceptP999: accept.P999(),
+		ApplyP99:   apply.P99(),
+		ApplyP999:  apply.P999(),
+	}
+	if aud != nil {
+		anomalies, err := aud.Verify(cell)
+		if err != nil {
+			return OverloadResult{}, err
+		}
+		out.Anomalies = anomalies
+		out.Violations = aud.Stats().LiveViolations
 		out.Audited = true
 	}
 	return out, nil

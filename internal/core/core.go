@@ -56,6 +56,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tca/internal/fabric"
@@ -71,7 +72,39 @@ var (
 	ErrNotRunning = errors.New("core: runtime not running")
 	ErrTimeout    = errors.New("core: result wait timeout")
 	ErrReadOnly   = errors.New("core: write in read-only transaction")
+	// ErrOverloaded is the admission-control sentinel: a bounded submission
+	// queue (Config.MaxPending) was full and the runtime shed the request
+	// instead of queueing it. Match with errors.Is; the concrete error is
+	// an *OverloadError carrying the rejection's context.
+	ErrOverloaded = errors.New("core: overloaded")
 )
+
+// OverloadError is the typed shed rejection SubmitAsync returns when
+// admission control (Config.MaxPending) refuses a submission. The request
+// never reached the log: nothing was appended, nothing will execute, and
+// the same reqID may simply be resubmitted after RetryAfter.
+type OverloadError struct {
+	// Partition is the home partition whose batcher queue was full, or -1
+	// when the global-sequence (cross-partition) path was saturated.
+	Partition int
+	// Pending is the queue depth observed at rejection.
+	Pending int
+	// RetryAfter is a coarse hint: roughly how long until the appender has
+	// drained enough to plausibly accept a retry.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	where := fmt.Sprintf("partition %d", e.Partition)
+	if e.Partition < 0 {
+		where = "global sequence"
+	}
+	return fmt.Sprintf("core: overloaded: %s queue full (%d pending, retry after %v)",
+		where, e.Pending, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // Tx is the transactional context passed to functions. All state access is
 // restricted to the transaction's declared keys; writes buffer and apply
@@ -190,6 +223,15 @@ type Config struct {
 	// may carry. Zero means 128 (the executors' fetch batch). E22 sweeps
 	// it to map batch size against fsync policy.
 	MaxGroupAppend int
+	// MaxPending, when positive, turns on admission control: each
+	// partition's batcher queue holds at most MaxPending un-appended
+	// submissions and SubmitAsync sheds (returns *OverloadError,
+	// errors.Is-matching ErrOverloaded) instead of blocking when it is
+	// full; the cross-partition path bounds its in-flight un-sequenced
+	// submissions the same way. Zero or negative keeps the legacy
+	// behavior: a MaxGroupAppend-deep queue with blocking admission. E23
+	// sweeps offered load past saturation against this knob.
+	MaxPending int
 	// ResultTimeout bounds Submit waits. Zero means 10s.
 	ResultTimeout time.Duration
 	// Cluster, when set, charges Submit's sequencer and reply hops to the
@@ -254,11 +296,17 @@ type crossTxn struct {
 
 // Runtime is the deterministic transactional engine.
 type Runtime struct {
-	cfg      Config
-	nparts   int
-	maxGroup int
-	broker   *mq.Broker
-	m        *metrics.Registry
+	cfg        Config
+	nparts     int
+	maxGroup   int
+	maxPending int // >0: bounded batcher queues + shedding (Config.MaxPending)
+	broker     *mq.Broker
+	m          *metrics.Registry
+
+	// crossPending counts cross-partition submissions produced to the
+	// sequence topic but not yet consumed by the sequencer — the gseq
+	// path's bounded queue when maxPending > 0.
+	crossPending atomic.Int64
 
 	// dlog is the real durable log (Config.LogDir mode); nil in modeled
 	// mode. Opened and bootstrapped by the first Start, kept across
@@ -361,6 +409,7 @@ func NewRuntime(broker *mq.Broker, cfg Config) *Runtime {
 		cfg:         cfg,
 		nparts:      nparts,
 		maxGroup:    maxGroup,
+		maxPending:  cfg.MaxPending,
 		broker:      broker,
 		m:           m,
 		partCommits: partCommits,
@@ -504,8 +553,14 @@ func (r *Runtime) Start() error {
 	// stop channel and must not be appended by the next incarnation.
 	r.batchCh = make([]chan *pendingSubmit, r.nparts)
 	r.running = true
+	qcap := r.maxGroup
+	if r.maxPending > 0 {
+		// Bounded admission: the queue capacity IS the admission bound —
+		// SubmitAsync sheds on a full channel instead of blocking.
+		qcap = r.maxPending
+	}
 	for p := 0; p < r.nparts; p++ {
-		r.batchCh[p] = make(chan *pendingSubmit, r.maxGroup)
+		r.batchCh[p] = make(chan *pendingSubmit, qcap)
 		r.wg.Add(2)
 		go r.runExecutor(p, r.stop)
 		go r.runBatcher(p, r.batchCh[p], r.stop)
@@ -533,6 +588,33 @@ func (r *Runtime) getSeqOff() int64 {
 	r.seqMu.Lock()
 	defer r.seqMu.Unlock()
 	return r.seqOff
+}
+
+// retryAfterHint is the coarse backoff hint attached to shed rejections:
+// the modeled append delay when one is configured (the queue drains at
+// roughly one group per SequenceDelay), otherwise a millisecond — the
+// order of one fsync-interval tick.
+func (r *Runtime) retryAfterHint() time.Duration {
+	if d := r.cfg.SequenceDelay; d > 0 {
+		return d
+	}
+	return time.Millisecond
+}
+
+// crossDone retires one counted cross-partition submission. The clamp
+// absorbs sequence-topic messages that were never counted (bootstrap
+// replay, pre-bound incarnations), which can only make admission
+// temporarily more permissive, never wedge it.
+func (r *Runtime) crossDone() {
+	for {
+		v := r.crossPending.Load()
+		if v <= 0 {
+			return
+		}
+		if r.crossPending.CompareAndSwap(v, v-1) {
+			return
+		}
+	}
 }
 
 // wake pokes one partition executor without blocking.
@@ -622,7 +704,8 @@ func (r *Runtime) runSequencer(stop chan struct{}) {
 			owed = r.pace(owed, len(msgs))
 		}
 		for _, m := range msgs {
-			r.sequenceOne(producerID, m)
+			r.sequenceOne(producerID, m, stop)
+			r.crossDone()
 			// Advance only after the fan-out: seqOff >= high water implies
 			// every sequenced transaction's markers are in the partition
 			// logs, which is what Quiesce relies on.
@@ -637,7 +720,7 @@ func (r *Runtime) runSequencer(stop chan struct{}) {
 // Duplicate request ids (client retries racing Submit's fast path) are
 // dropped here, so each partition log carries at most one marker per
 // cross-partition request.
-func (r *Runtime) sequenceOne(producerID string, m mq.Message) {
+func (r *Runtime) sequenceOne(producerID string, m mq.Message, stop chan struct{}) {
 	var req request
 	if err := json.Unmarshal(m.Value, &req); err != nil {
 		r.m.Counter("core.poison").Inc()
@@ -661,7 +744,7 @@ func (r *Runtime) sequenceOne(producerID string, m mq.Message) {
 	}
 	for _, p := range r.partitionsOf(req.Keys) {
 		if r.dlog != nil {
-			if err := r.appendMarkerDurable(p, req.ReqID, raw, m.Offset); err != nil {
+			if err := r.appendMarkerDurable(p, req.ReqID, raw, m.Offset, stop); err != nil {
 				r.m.Counter("core.wal_errors").Inc()
 				continue
 			}
@@ -747,7 +830,7 @@ func (r *Runtime) runBatcher(part int, ch chan *pendingSubmit, stop chan struct{
 			}
 			if err == nil {
 				raw = combineGroup(members)
-				err = r.appendBatchDurable(part, members, raw)
+				err = r.appendBatchDurable(part, members, raw, stop)
 			}
 		} else {
 			if len(batch) == 1 {
@@ -1106,10 +1189,27 @@ func (r *Runtime) SubmitAsync(reqID, fn string, keys []string, args []byte, tr *
 	req := request{ReqID: reqID, Fn: fn, Keys: keys, Args: args}
 	if parts := r.partitionsOf(keys); len(parts) == 1 {
 		ps := &pendingSubmit{req: req, acked: make(chan error, 1)}
-		select {
-		case batches[parts[0]] <- ps:
-		case <-stop:
-			return fail(ErrNotRunning)
+		if r.maxPending > 0 {
+			// Bounded admission: a full batcher queue sheds instead of
+			// blocking — the request never reached the log, so nothing
+			// to clean up beyond the waiter, and the same reqID can be
+			// resubmitted after the hint.
+			select {
+			case batches[parts[0]] <- ps:
+			default:
+				r.m.Counter("core.shed").Inc()
+				return fail(&OverloadError{
+					Partition:  parts[0],
+					Pending:    len(batches[parts[0]]),
+					RetryAfter: r.retryAfterHint(),
+				})
+			}
+		} else {
+			select {
+			case batches[parts[0]] <- ps:
+			case <-stop:
+				return fail(ErrNotRunning)
+			}
 		}
 		select {
 		case err := <-ps.acked:
@@ -1120,18 +1220,34 @@ func (r *Runtime) SubmitAsync(reqID, fn string, keys []string, args []byte, tr *
 			return fail(ErrNotRunning)
 		}
 	} else {
+		if r.maxPending > 0 {
+			// The gseq path's bound: submissions produced to the sequence
+			// topic but not yet consumed by the sequencer.
+			if n := r.crossPending.Load(); n >= int64(r.maxPending) {
+				r.m.Counter("core.shed").Inc()
+				return fail(&OverloadError{
+					Partition:  -1,
+					Pending:    int(n),
+					RetryAfter: r.retryAfterHint(),
+				})
+			}
+			r.crossPending.Add(1)
+		}
 		raw, err := json.Marshal(req)
 		if err != nil {
+			r.crossDone()
 			return fail(err)
 		}
 		if dlog != nil {
 			// Cross-partition submissions persist in the global-sequence
 			// log before the topic sees them: the gseq log is their
 			// durability point (the sequencer's markers are derived).
-			if err := r.appendGSeqDurable(dlog, reqID, raw); err != nil {
+			if err := r.appendGSeqDurable(dlog, reqID, raw, stop); err != nil {
+				r.crossDone()
 				return fail(err)
 			}
 		} else if _, err := r.broker.Produce(r.seqTopic(), reqID, raw); err != nil {
+			r.crossDone()
 			return fail(err)
 		}
 		r.m.Counter("core.cross_submits").Inc()

@@ -53,8 +53,11 @@ const (
 	// FsyncEveryBatch fsyncs once per group append before acknowledging:
 	// an acked submission survives any crash. The group-commit default.
 	FsyncEveryBatch FsyncPolicy = iota
-	// FsyncInterval acknowledges after the buffered write and fsyncs on a
-	// timer (Config.FsyncEvery, default 1ms): bounded loss, higher rate.
+	// FsyncInterval fsyncs on a timer (Config.FsyncEvery, default 1ms) and
+	// holds each acknowledgment until the covering sync lands — a two-phase
+	// ack (append, then wait on the sync watermark), so acknowledged still
+	// means durable; the interval only batches how many appends share one
+	// fsync. Delayed group commit: lower fsync rate, higher ack latency.
 	FsyncInterval
 	// FsyncNone leaves durability to the OS page cache: the ceiling the
 	// other policies are measured against.
@@ -362,16 +365,42 @@ func combineGroup(members [][]byte) []byte {
 	return buf.Bytes()
 }
 
+// waitDurable is the second phase of the FsyncInterval two-phase ack:
+// block until the log's sync watermark covers everything appended so far,
+// so the acknowledgment that follows means "on stable storage", not "in
+// the page cache until the next timer tick". The other policies return
+// immediately — EveryBatch synced inside the append itself, and None
+// explicitly leaves durability to the OS. cancel (the runtime's stop
+// channel) aborts the wait on crash/shutdown; the caller then fails its
+// submitters instead of acking, and recovery replays the record if the
+// sync in fact made it.
+func (r *Runtime) waitDurable(l *wal.Log, cancel <-chan struct{}) error {
+	if r.cfg.Fsync != FsyncInterval {
+		return nil
+	}
+	if err := l.WaitDurable(l.Len(), cancel); err != nil {
+		if errors.Is(err, wal.ErrCanceled) || errors.Is(err, wal.ErrClosed) {
+			return ErrNotRunning
+		}
+		return err
+	}
+	return nil
+}
+
 // appendBatchDurable is the batcher's WAL-mode append path: persist the
-// group (header + members, one write, fsync per policy), then produce the
-// combined record to the broker — under the partition lock, so disk order
-// is topic order. Returns after the configured durability point; that
-// return is what the submitters' acks mean.
-func (r *Runtime) appendBatchDurable(part int, members [][]byte, raw []byte) error {
+// group (header + members, one write, fsync per policy — in interval mode
+// waiting out the covering sync), then produce the combined record to the
+// broker — under the partition lock, so disk order is topic order.
+// Returns after the configured durability point; that return is what the
+// submitters' acks mean.
+func (r *Runtime) appendBatchDurable(part int, members [][]byte, raw []byte, cancel <-chan struct{}) error {
 	d := r.dlog
 	d.mu[part].Lock()
 	defer d.mu[part].Unlock()
 	if err := appendGroup(d.part[part], members); err != nil {
+		return err
+	}
+	if err := r.waitDurable(d.part[part], cancel); err != nil {
 		return err
 	}
 	_, err := r.broker.ProduceIdempotentTo(r.logTopic(part), "", raw, walProducerID(r.cfg.Name, part), d.groups[part])
@@ -387,7 +416,7 @@ func (r *Runtime) appendBatchDurable(part int, members [][]byte, raw []byte) err
 // (stamp at or below the partition's watermark) skips the append — the
 // produce below still runs and dedups, covering the crash window where the
 // gseq log got the entry but the partition log missed the marker.
-func (r *Runtime) appendMarkerDurable(part int, reqID string, raw []byte, gseqOff int64) error {
+func (r *Runtime) appendMarkerDurable(part int, reqID string, raw []byte, gseqOff int64, cancel <-chan struct{}) error {
 	d := r.dlog
 	d.mu[part].Lock()
 	defer d.mu[part].Unlock()
@@ -396,6 +425,9 @@ func (r *Runtime) appendMarkerDurable(part int, reqID string, raw []byte, gseqOf
 			return err
 		}
 		d.markerHi[part] = gseqOff + 1
+		if err := r.waitDurable(d.part[part], cancel); err != nil {
+			return err
+		}
 	}
 	_, err := r.broker.ProduceIdempotentTo(r.logTopic(part), reqID, raw, r.cfg.Name+"-seq", gseqOff)
 	return err
@@ -405,11 +437,14 @@ func (r *Runtime) appendMarkerDurable(part int, reqID string, raw []byte, gseqOf
 // sequence log before it is produced to the sequence topic. d is the
 // caller's capture of the runtime's durable log (SubmitAsync snapshots it
 // under runMu alongside the running flag).
-func (r *Runtime) appendGSeqDurable(d *durableLog, reqID string, raw []byte) error {
+func (r *Runtime) appendGSeqDurable(d *durableLog, reqID string, raw []byte, cancel <-chan struct{}) error {
 	gslot := len(d.mu) - 1
 	d.mu[gslot].Lock()
 	defer d.mu[gslot].Unlock()
 	if err := appendGroup(d.gseq, [][]byte{raw}); err != nil {
+		return err
+	}
+	if err := r.waitDurable(d.gseq, cancel); err != nil {
 		return err
 	}
 	_, err := r.broker.ProduceIdempotentTo(r.seqTopic(), reqID, raw, r.cfg.Name+"-wal-gseq", d.gseqGroups)

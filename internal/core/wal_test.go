@@ -382,3 +382,96 @@ func TestDurableLogMaxGroupAppend(t *testing.T) {
 		t.Fatalf("wal_group_appends = %d, want >= 10 under cap 4", appends)
 	}
 }
+
+// TestIntervalAckCoversDurability pins the FsyncInterval two-phase ack:
+// the submitter's acknowledgment must not return before the covering
+// fsync. With a short interval the ack returns and the watermark already
+// covers the log; with an interval beyond the test's lifetime the ack
+// must still be pending — returning early here is exactly the
+// acknowledged-but-lost window the watermark closed.
+func TestIntervalAckCoversDurability(t *testing.T) {
+	t.Run("short-interval", func(t *testing.T) {
+		dir := t.TempDir()
+		r := NewRuntime(mq.NewBroker(), Config{
+			Name: "wal-ivl-short", LogDir: dir,
+			Fsync: FsyncInterval, FsyncEvery: 5 * time.Millisecond,
+		})
+		registerBank(r)
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Stop)
+		for i := 0; i < 3; i++ {
+			deposit(t, r, fmt.Sprintf("d%d", i), 0, 2)
+		}
+		// The blocking Submit returned, so the interval sync covering its
+		// record already ran: the watermark is the whole log.
+		l := r.dlog.part[0]
+		if got, want := l.DurableIndex(), l.Len(); got != want {
+			t.Fatalf("DurableIndex after acked submits = %d, want %d", got, want)
+		}
+	})
+	t.Run("ack-waits-for-sync", func(t *testing.T) {
+		dir := t.TempDir()
+		r := NewRuntime(mq.NewBroker(), Config{
+			Name: "wal-ivl-long", LogDir: dir,
+			Fsync: FsyncInterval, FsyncEvery: time.Hour,
+		})
+		registerBank(r)
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Stop)
+		acked := make(chan error, 1)
+		go func() {
+			args := append(i64(7), i64(0)...)
+			_, err := r.SubmitAsync("slow-ack", "deposit", []string{"acc/0"}, args, nil)
+			acked <- err
+		}()
+		select {
+		case err := <-acked:
+			t.Fatalf("ack returned before the covering fsync (err=%v)", err)
+		case <-time.After(100 * time.Millisecond):
+			// still pending: the ack is waiting out the interval sync.
+		}
+		// Crash while the ack is parked — the kill between append and
+		// interval sync. The parked submitter must be released with an
+		// error instead of hanging on a dead flusher, and because the ack
+		// never returned, the client holds no durability claim: whether the
+		// record survives is the disk's business alone.
+		r.Crash()
+		select {
+		case err := <-acked:
+			if err == nil {
+				t.Fatal("parked ack resolved nil across a crash")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked ack never released by the crash")
+		}
+		// Full restart from disk (Stop syncs and closes the logs, so the
+		// written record reaches stable storage; a fresh broker means only
+		// the log directory survives). The appended record must apply
+		// exactly once — never twice, never torn — and its request id must
+		// land in the rebuilt dedup cache.
+		r.Stop()
+		r2 := NewRuntime(mq.NewBroker(), Config{
+			Name: "wal-ivl-long", LogDir: dir,
+			Fsync: FsyncInterval, FsyncEvery: time.Hour,
+		})
+		registerBank(r2)
+		if err := r2.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r2.Stop)
+		if err := r2.Quiesce(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if got := balance(r2, 0); got != 7 {
+			t.Fatalf("balance after restart = %d, want 7 (appended record replays once)", got)
+		}
+		deposit(t, r2, "slow-ack", 0, 7)
+		if got := balance(r2, 0); got != 7 {
+			t.Fatalf("replayed request re-applied: balance = %d, want 7", got)
+		}
+	})
+}

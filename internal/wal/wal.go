@@ -34,6 +34,7 @@ var (
 	ErrClosed   = errors.New("wal: closed")
 	ErrCorrupt  = errors.New("wal: corrupt record")
 	ErrTooLarge = errors.New("wal: record exceeds segment size")
+	ErrCanceled = errors.New("wal: durability wait canceled")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -75,6 +76,14 @@ type Log struct {
 	next     uint64 // next record index (monotone across segments)
 	segments []uint64
 
+	// durable is the sync watermark: every record with index < durable has
+	// been covered by an fsync. Records in [durable, next) are appended but
+	// may still be sitting in the page cache — the fsync-interval ack gap.
+	// syncGen is closed and replaced on every watermark advance (and on
+	// close), so WaitDurable blocks on generations instead of polling.
+	durable uint64
+	syncGen chan struct{}
+
 	flushStop chan struct{} // interval flusher, when SyncInterval is set
 	flushDone chan struct{}
 }
@@ -100,6 +109,9 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l.next = n
+	// Records that survived a reopen are on disk by definition.
+	l.durable = n
+	l.syncGen = make(chan struct{})
 	if opts.SyncInterval > 0 && !opts.SyncOnAppend {
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
@@ -122,7 +134,9 @@ func (l *Log) runFlusher(interval time.Duration, stop, done chan struct{}) {
 		case <-ticker.C:
 			l.mu.Lock()
 			if !l.closed {
-				l.active.Sync()
+				if err := l.active.Sync(); err == nil {
+					l.markDurableLocked(l.next)
+				}
 			}
 			l.mu.Unlock()
 		}
@@ -213,6 +227,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	idx := l.next
 	l.next++
+	if l.opts.SyncOnAppend {
+		l.markDurableLocked(l.next)
+	}
 	return idx, nil
 }
 
@@ -271,6 +288,9 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 		}
 	}
 	l.next = first + uint64(len(payloads))
+	if l.opts.SyncOnAppend {
+		l.markDurableLocked(l.next)
+	}
 	return first, nil
 }
 
@@ -286,6 +306,9 @@ func (l *Log) roll() error {
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: sync on roll: %w", err)
 	}
+	// Everything indexed so far lives in the segment just synced (a batch
+	// mid-roll has not advanced next yet), so the watermark may advance.
+	l.markDurableLocked(l.next)
 	if err := l.active.Close(); err != nil {
 		return fmt.Errorf("wal: close on roll: %w", err)
 	}
@@ -308,7 +331,61 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.active.Sync()
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	l.markDurableLocked(l.next)
+	return nil
+}
+
+// markDurableLocked advances the sync watermark to n and wakes every
+// WaitDurable blocked on the current generation. Caller holds l.mu.
+func (l *Log) markDurableLocked(n uint64) {
+	if n > l.durable {
+		l.durable = n
+	}
+	l.broadcastLocked()
+}
+
+func (l *Log) broadcastLocked() {
+	close(l.syncGen)
+	l.syncGen = make(chan struct{})
+}
+
+// DurableIndex returns the sync watermark: every record with index below
+// it has been covered by an fsync. Under SyncOnAppend it always equals
+// Len(); under SyncInterval it trails Len() by up to one flush period —
+// the gap WaitDurable exists to close.
+func (l *Log) DurableIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// WaitDurable blocks until the sync watermark reaches end (record indexes
+// [0, end) all fsynced), the log closes (ErrClosed), or cancel is closed
+// (ErrCanceled). A nil cancel never fires. This is the second phase of the
+// interval-mode two-phase ack: append, then wait for the covering sync
+// before acknowledging, so acknowledged always means durable.
+func (l *Log) WaitDurable(end uint64, cancel <-chan struct{}) error {
+	for {
+		l.mu.Lock()
+		if l.durable >= end {
+			l.mu.Unlock()
+			return nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return ErrClosed
+		}
+		gen := l.syncGen
+		l.mu.Unlock()
+		select {
+		case <-gen:
+		case <-cancel:
+			return ErrCanceled
+		}
+	}
 }
 
 // Len returns the number of durable records.
@@ -448,6 +525,8 @@ func (l *Log) Truncate() error {
 	}
 	l.segments = nil
 	l.next = 0
+	l.durable = 0
+	l.broadcastLocked()
 	return l.openActive()
 }
 
@@ -473,8 +552,10 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	if err := l.active.Sync(); err != nil {
+		l.broadcastLocked() // wake waiters; they observe closed
 		l.active.Close()
 		return fmt.Errorf("wal: sync on close: %w", err)
 	}
+	l.markDurableLocked(l.next)
 	return l.active.Close()
 }

@@ -24,6 +24,9 @@ type DriverResult struct {
 	// driver it includes queueing delay from the request's scheduled
 	// arrival time — the number that explodes at saturation (ref [56]).
 	Latency metrics.Snapshot
+	// P99 is the tail of the same distribution, from a bounded reservoir
+	// (LatencyReservoir) — the column the experiment tables report.
+	P99 time.Duration
 }
 
 // Throughput returns completed operations per second.
@@ -40,6 +43,7 @@ func (r DriverResult) Throughput() float64 {
 // rate drops with it, hiding saturation from the latency distribution.
 func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverResult {
 	hist := metrics.NewHistogram()
+	res := NewLatencyReservoir(0, 1)
 	var errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -50,7 +54,9 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 			for i := 0; i < opsPerClient; i++ {
 				t0 := time.Now()
 				err := op()
-				hist.RecordDuration(time.Since(t0))
+				d := time.Since(t0)
+				hist.RecordDuration(d)
+				res.Record(d)
 				if err != nil {
 					errs.Add(1)
 				}
@@ -66,6 +72,90 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 		Errors:  errs.Load(),
 		Elapsed: time.Since(start),
 		Latency: hist.Snapshot(),
+		P99:     res.P99(),
+	}
+}
+
+// ArrivalProcess generates the inter-arrival gaps of an open-loop load
+// stream. Implementations are deterministic per seed: the same seed
+// produces the identical arrival schedule, which is what makes open-loop
+// runs comparable across configurations.
+type ArrivalProcess interface {
+	// Gap returns the time until the next arrival.
+	Gap() time.Duration
+}
+
+// poissonArrivals draws exponential inter-arrival gaps — the memoryless
+// arrival process of the M/M/1 model.
+type poissonArrivals struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+// NewPoissonArrivals returns Poisson arrivals at rate ops/second.
+// Non-positive rates are invalid; callers should validate (OpenLoop does).
+func NewPoissonArrivals(seed int64, rate float64) ArrivalProcess {
+	return &poissonArrivals{rng: rand.New(rand.NewSource(seed)), rate: rate}
+}
+
+func (p *poissonArrivals) Gap() time.Duration {
+	return time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+}
+
+// mmppArrivals is a two-state Markov-modulated Poisson process: a "calm"
+// state and a "burst" state, each Poisson at its own rate, with
+// exponentially distributed dwell times. The long-run mean rate equals the
+// configured rate (the states' rates are rate·2/(b+1) and rate·2b/(b+1)
+// with equal expected dwell), so an MMPP sweep offers the same average
+// load as a Poisson sweep — only clumpier: bursts at b× the calm rate,
+// which is what stresses a bounded queue harder than smooth arrivals.
+type mmppArrivals struct {
+	rng   *rand.Rand
+	rates [2]float64 // calm, burst
+	dwell time.Duration
+	state int
+	left  time.Duration // remaining dwell in the current state
+}
+
+// NewMMPPArrivals returns bursty (Markov-modulated Poisson) arrivals with
+// long-run mean rate ops/second. burst is the burst-to-calm rate ratio
+// (values <= 1 degenerate to Poisson), dwell the expected time in each
+// state (zero means 10ms).
+func NewMMPPArrivals(seed int64, rate, burst float64, dwell time.Duration) ArrivalProcess {
+	if burst < 1 {
+		burst = 1
+	}
+	if dwell <= 0 {
+		dwell = 10 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &mmppArrivals{
+		rng:   rng,
+		rates: [2]float64{rate * 2 / (burst + 1), rate * 2 * burst / (burst + 1)},
+		dwell: dwell,
+	}
+	m.left = m.drawDwell()
+	return m
+}
+
+func (m *mmppArrivals) drawDwell() time.Duration {
+	return time.Duration(m.rng.ExpFloat64() * float64(m.dwell))
+}
+
+// Gap advances across state boundaries: when the next exponential draw
+// overshoots the remaining dwell, the process flips state at the boundary
+// and redraws from there — exact, because the exponential is memoryless.
+func (m *mmppArrivals) Gap() time.Duration {
+	var elapsed time.Duration
+	for {
+		gap := time.Duration(m.rng.ExpFloat64() / m.rates[m.state] * float64(time.Second))
+		if gap < m.left {
+			m.left -= gap
+			return elapsed + gap
+		}
+		elapsed += m.left
+		m.state = 1 - m.state
+		m.left = m.drawDwell()
 	}
 }
 
@@ -73,18 +163,26 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 // (ops/second), regardless of how the server keeps up. Latency is measured
 // from the *scheduled arrival time*, so queueing delay counts: when the
 // offered rate exceeds capacity, latency grows without bound — the
-// open-vs-closed contrast of ref [56].
+// open-vs-closed contrast of ref [56]. A non-positive rate or n is invalid
+// and returns an empty result immediately instead of spinning.
 func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
-	rng := rand.New(rand.NewSource(seed))
+	if rate <= 0 || n <= 0 {
+		return DriverResult{}
+	}
+	return OpenLoopArrivals(NewPoissonArrivals(seed, rate), n, op)
+}
+
+// OpenLoopArrivals is OpenLoop under any arrival process — the driver the
+// overload experiments use with bursty (MMPP) arrivals.
+func OpenLoopArrivals(arrivals ArrivalProcess, n int, op Op) DriverResult {
 	hist := metrics.NewHistogram()
+	res := NewLatencyReservoir(0, 1)
 	var errs atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	next := start
 	for i := 0; i < n; i++ {
-		// Exponential inter-arrival.
-		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
-		next = next.Add(gap)
+		next = next.Add(arrivals.Gap())
 		if wait := time.Until(next); wait > 0 {
 			time.Sleep(wait)
 		}
@@ -93,7 +191,9 @@ func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
 		go func() {
 			defer wg.Done()
 			err := op()
-			hist.RecordDuration(time.Since(scheduled))
+			d := time.Since(scheduled)
+			hist.RecordDuration(d)
+			res.Record(d)
 			if err != nil {
 				errs.Add(1)
 			}
@@ -105,6 +205,7 @@ func OpenLoop(seed int64, n int, rate float64, op Op) DriverResult {
 		Errors:  errs.Load(),
 		Elapsed: time.Since(start),
 		Latency: hist.Snapshot(),
+		P99:     res.P99(),
 	}
 }
 

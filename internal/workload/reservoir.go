@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultReservoirCap bounds a LatencyReservoir's memory when the caller
+// passes zero: large enough that p999 over a typical run rests on real
+// samples, small enough that a per-row reservoir costs ~32KiB.
+const defaultReservoirCap = 4096
+
+// LatencyReservoir estimates latency quantiles (p50/p99/p999) from a
+// bounded uniform sample — Vitter's Algorithm R. Memory is fixed at the
+// capacity regardless of how many durations are recorded, which is what
+// lets the open-loop overload runs (millions of arrivals at 4× capacity)
+// keep exact-enough tails without keeping every sample. The maximum is
+// tracked exactly: the single worst observation must never be sampled
+// away from a tail estimate. Safe for concurrent use.
+type LatencyReservoir struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	samples []time.Duration
+	n       int64         // total recorded
+	max     time.Duration // exact maximum
+}
+
+// NewLatencyReservoir creates a reservoir holding at most capacity
+// samples (zero means 4096). seed fixes the sampling choices, so a run is
+// reproducible end to end when its op stream is.
+func NewLatencyReservoir(capacity int, seed int64) *LatencyReservoir {
+	if capacity <= 0 {
+		capacity = defaultReservoirCap
+	}
+	return &LatencyReservoir{
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: make([]time.Duration, 0, capacity),
+	}
+}
+
+// Record adds one observation.
+func (r *LatencyReservoir) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+		return
+	}
+	// Algorithm R: replace a uniform slot with probability cap/n.
+	if j := r.rng.Int63n(r.n); j < int64(cap(r.samples)) {
+		r.samples[j] = d
+	}
+}
+
+// Count returns how many observations were recorded (not retained).
+func (r *LatencyReservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Max returns the exact maximum observation.
+func (r *LatencyReservoir) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sampled
+// distribution; q = 1 returns the exact maximum. Zero observations
+// return zero.
+func (r *LatencyReservoir) Quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return r.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// P50 returns the median.
+func (r *LatencyReservoir) P50() time.Duration { return r.Quantile(0.50) }
+
+// P99 returns the 99th percentile.
+func (r *LatencyReservoir) P99() time.Duration { return r.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile.
+func (r *LatencyReservoir) P999() time.Duration { return r.Quantile(0.999) }

@@ -1,9 +1,12 @@
 package tca
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tca/internal/fabric"
 )
@@ -25,6 +28,17 @@ type SessionOptions struct {
 	// is per submitting goroutine: concurrent Submit calls racing on the
 	// same key are not ordered against each other.
 	OrderKeys bool
+	// RetryBudget caps the total attempts (the first submission plus
+	// retries) for a submission the cell sheds (ErrOverloaded). Between
+	// attempts the session backs off exponentially with full jitter,
+	// honoring the shed hint's RetryAfter as a floor, and resubmits the
+	// same request id — safe, since a shed op never entered the cell.
+	// Zero means 8 attempts; negative disables retries (one attempt, shed
+	// errors surface to the caller). Non-shed errors never retry.
+	RetryBudget int
+	// Backoff is the base delay before the first retry; it doubles per
+	// attempt (capped at 64× the base) with full jitter. Zero means 200µs.
+	Backoff time.Duration
 }
 
 // Session is a client of one deployed Cell: it assigns the session's
@@ -37,10 +51,11 @@ type Session struct {
 	id   string
 	opts SessionOptions
 
-	seq   atomic.Int64
-	errs  atomic.Int64
-	slots chan struct{}
-	wg    sync.WaitGroup
+	seq     atomic.Int64
+	errs    atomic.Int64
+	retries atomic.Int64
+	slots   chan struct{}
+	wg      sync.WaitGroup
 
 	mu   sync.Mutex
 	last map[string]Handle // OrderKeys: latest handle per declared key
@@ -52,6 +67,14 @@ type Session struct {
 func NewSession(cell Cell, id string, opts SessionOptions) *Session {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 32
+	}
+	if opts.RetryBudget == 0 {
+		opts.RetryBudget = 8
+	} else if opts.RetryBudget < 0 {
+		opts.RetryBudget = 1
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 200 * time.Microsecond
 	}
 	return &Session{
 		cell:  cell,
@@ -86,7 +109,7 @@ func (s *Session) Submit(opName string, args []byte, tr *fabric.Trace) Handle {
 		}
 	}
 	s.slots <- struct{}{}
-	h := s.cell.Submit(reqID, opName, args, tr)
+	h := s.submitWithRetry(reqID, opName, args, tr)
 	if keys != nil {
 		// Recorded before the completion watcher starts, so the watcher's
 		// cleanup below can never race ahead of the registration.
@@ -120,6 +143,65 @@ func (s *Session) Submit(opName string, args []byte, tr *fabric.Trace) Handle {
 	return h
 }
 
+// submitWithRetry submits once and, when the cell sheds synchronously
+// (admission control — the handle resolves before Submit returns),
+// retries the same request id under the session's budget with jittered
+// exponential backoff. A submission that is genuinely in flight was
+// accepted, so an unresolved handle passes through untouched — the hot
+// path adds one non-blocking Done check.
+func (s *Session) submitWithRetry(reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	h := s.cell.Submit(reqID, opName, args, tr)
+	retryAfter, shed := sheddedSync(h)
+	if !shed || s.opts.RetryBudget <= 1 {
+		return h
+	}
+	out := newOpHandle()
+	go func() {
+		backoff := s.opts.Backoff
+		maxBackoff := 64 * s.opts.Backoff
+		for attempt := 2; ; attempt++ {
+			s.retries.Add(1)
+			// Full jitter over the current backoff window, floored by the
+			// cell's own retry-after hint.
+			wait := time.Duration(rand.Int63n(int64(backoff) + 1))
+			if wait < retryAfter {
+				wait = retryAfter
+			}
+			time.Sleep(wait)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			h := s.cell.Submit(reqID, opName, args, tr)
+			res, err := h.Result()
+			if err == nil || !errors.Is(err, ErrOverloaded) || attempt >= s.opts.RetryBudget {
+				out.resolve(res, err)
+				return
+			}
+			var se *ShedError
+			if errors.As(err, &se) {
+				retryAfter = se.RetryAfter
+			}
+		}
+	}()
+	return out
+}
+
+// sheddedSync reports whether a just-returned handle already resolved to
+// a shed rejection, and the rejection's retry hint.
+func sheddedSync(h Handle) (time.Duration, bool) {
+	select {
+	case <-h.Done():
+	default:
+		return 0, false
+	}
+	_, err := h.Result()
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se.RetryAfter, true
+	}
+	return 0, false
+}
+
 // Invoke is the session's blocking call: Submit(...).Result().
 func (s *Session) Invoke(opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
 	return s.Submit(opName, args, tr).Result()
@@ -132,6 +214,10 @@ func (s *Session) Drain() {
 
 // Errors returns how many of the session's completed submissions failed.
 func (s *Session) Errors() int64 { return s.errs.Load() }
+
+// Retries returns how many shed-retry attempts the session has made
+// beyond first submissions.
+func (s *Session) Retries() int64 { return s.retries.Load() }
 
 // Submitted returns how many submissions the session has issued.
 func (s *Session) Submitted() int64 { return s.seq.Load() }

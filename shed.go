@@ -1,0 +1,47 @@
+package tca
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the admission-control sentinel: a cell refused a
+// submission because its bounded pending queue (Options.MaxPending) was
+// full. Match it with errors.Is — the concrete error is always a
+// *ShedError carrying the rejection's context. A shed submission never
+// entered the cell's pipeline: no state was touched, no audit intent
+// exists, and resubmitting the same request id later is safe on every
+// cell.
+var ErrOverloaded = errors.New("tca: cell overloaded")
+
+// ShedError is the typed rejection a saturated cell resolves a Submit
+// handle with. It is a load signal, not a failure of the op: the caller
+// may retry after RetryAfter (Session does this automatically when
+// SessionOptions.RetryBudget allows).
+type ShedError struct {
+	// Model is the cell that shed the submission.
+	Model ProgrammingModel
+	// Depth is the pending-queue depth observed at rejection — how much
+	// accepted-but-unfinished work was already in flight.
+	Depth int
+	// RetryAfter is a coarse hint: roughly how long until the cell has
+	// drained enough to plausibly accept a retry.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("tca: %v overloaded: %d pending (retry after %v)",
+		e.Model, e.Depth, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match every shed rejection.
+func (e *ShedError) Is(target error) bool { return target == ErrOverloaded }
+
+// shedHandle is the uniform rejection path: an already-resolved Handle
+// carrying a *ShedError, returned synchronously from Submit so callers
+// can distinguish "shed at the door" from "accepted and in flight"
+// without blocking.
+func shedHandle(model ProgrammingModel, depth int, retryAfter time.Duration) Handle {
+	return resolvedHandle(nil, &ShedError{Model: model, Depth: depth, RetryAfter: retryAfter})
+}

@@ -2,6 +2,7 @@ package tca
 
 import (
 	"sync"
+	"time"
 )
 
 // This file is the asynchronous half of the invocation surface. Cell.Submit
@@ -67,30 +68,68 @@ func resolvedHandle(res []byte, err error) Handle {
 // submissions when Options.Clients is zero.
 const defaultClients = 16
 
+// poolRetryAfter is the shed hint for the worker-pool cells: the order of
+// one short op's service time, coarse on purpose.
+const poolRetryAfter = 500 * time.Microsecond
+
 // submitPool runs submissions for the synchronous cells (microservices,
 // actors, cloud functions) on a bounded worker pool: Submit returns a
 // Handle immediately, at most Options.Clients ops execute their blocking
-// protocol at once, and excess submissions queue. The pool is what turns
-// a blocking saga / 2PC / critical-section call into a pipelined one
-// without changing the cell's guarantees.
+// protocol at once, and up to Options.MaxPending accepted submissions
+// wait for a slot. Admission is non-blocking: when executing + waiting
+// work already fills the bound, submit sheds — the handle resolves at
+// once with a *ShedError and the op never runs. The pool is what turns a
+// blocking saga / 2PC / critical-section call into a pipelined one
+// without changing the cell's guarantees, and the bound is what keeps an
+// open-loop arrival process from growing an unbounded backlog (E23).
+// MaxPending < 0 restores the legacy unbounded behavior: submit blocks
+// for a slot and never sheds.
 type submitPool struct {
+	model ProgrammingModel
 	slots chan struct{}
+	// tokens bounds accepted-but-unfinished submissions (executing plus
+	// queued): capacity clients+maxPending, nil in legacy unbounded mode.
+	tokens chan struct{}
 }
 
-func newSubmitPool(clients int) *submitPool {
+func newSubmitPool(model ProgrammingModel, clients, maxPending int) *submitPool {
 	if clients <= 0 {
 		clients = defaultClients
 	}
-	return &submitPool{slots: make(chan struct{}, clients)}
+	p := &submitPool{model: model, slots: make(chan struct{}, clients)}
+	if maxPending == 0 {
+		maxPending = 4 * clients
+	}
+	if maxPending > 0 {
+		p.tokens = make(chan struct{}, clients+maxPending)
+	}
+	return p
 }
 
-// submit admits one op to the pool — blocking until a slot frees, so
-// acceptance means admission to the cell's bounded pipeline, not a
-// goroutine spawn — and returns its handle. The wait is what E20's
-// accept-us/op measures on the synchronous cells, and what keeps a
-// caller submitting faster than Options.Clients ops can execute
-// backpressured instead of piling up goroutines.
+// submit admits one op to the pool and returns its handle. With admission
+// control on, acceptance is a token for the bounded pipeline — granted or
+// refused immediately, so accept latency is admission, not queueing — and
+// the op waits for an executing slot inside its own goroutine. A full
+// pipeline sheds instead of queueing. In legacy mode (MaxPending < 0) the
+// call blocks until an executing slot frees, which is what keeps a caller
+// submitting faster than Options.Clients ops can execute backpressured
+// instead of piling up goroutines.
 func (p *submitPool) submit(run func() ([]byte, error)) Handle {
+	if p.tokens != nil {
+		select {
+		case p.tokens <- struct{}{}:
+		default:
+			return shedHandle(p.model, cap(p.tokens), poolRetryAfter)
+		}
+		h := newOpHandle()
+		go func() {
+			defer func() { <-p.tokens }()
+			p.slots <- struct{}{}
+			defer func() { <-p.slots }()
+			h.resolve(run())
+		}()
+		return h
+	}
 	h := newOpHandle()
 	p.slots <- struct{}{}
 	go func() {
@@ -101,9 +140,11 @@ func (p *submitPool) submit(run func() ([]byte, error)) Handle {
 }
 
 // invoke runs one op on the pool inline — the blocking caller's fast
-// path. Observably identical to submit(run).Result() (same cap, same
-// outcome) without the per-op goroutine and handle, which keeps the
-// serial benchmarks' real cost where it was before the API went async.
+// path. It blocks for an executing slot and never sheds: a caller that
+// waits inline is its own backpressure, so admission control has nothing
+// to bound. Observably identical to the legacy submit(run).Result() (same
+// cap, same outcome) without the per-op goroutine and handle, which keeps
+// the serial benchmarks' real cost where it was before the API went async.
 func (p *submitPool) invoke(run func() ([]byte, error)) ([]byte, error) {
 	p.slots <- struct{}{}
 	defer func() { <-p.slots }()

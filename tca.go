@@ -73,9 +73,10 @@
 // an op and returns a Handle immediately — acceptance — and the Handle's
 // Done/Result report completion. What the two events mean is the
 // messaging axis of the taxonomy, per cell: on the synchronous cells
-// acceptance is admission to a bounded worker pool (Options.Clients —
-// Submit blocks while the pool is full, so accept latency is queueing
-// for a slot) and the handle resolves when the blocking protocol ends; the
+// acceptance is admission to a bounded worker pool (Options.Clients
+// executing slots plus an Options.MaxPending queue — accept latency is
+// the admission decision) and the handle resolves when the blocking
+// protocol ends; the
 // deterministic cell acknowledges once the transaction is durably in the
 // log (concurrent submissions share group log appends, amortizing the
 // modeled append latency) and resolves the handle when the scheduled
@@ -86,11 +87,39 @@
 //
 // Clients hold a Session (NewSession) per logical user: it assigns the
 // session's request ids, caps in-flight submissions (pipelining depth),
-// and can order ops on overlapping keys (SessionOptions.OrderKeys) for
-// session read-your-writes on the eventual cells. The concurrency matrix
-// (E20 in EXPERIMENTS.md) drives every cell this way through
-// workload.ClosedLoop; the rest of the bench suite (bench_test.go) covers
-// every other experiment.
+// retries shed submissions with jittered exponential backoff
+// (SessionOptions.RetryBudget, Backoff), and can order ops on overlapping
+// keys (SessionOptions.OrderKeys) for session read-your-writes on the
+// eventual cells. The concurrency matrix (E20 in EXPERIMENTS.md) drives
+// every cell this way through workload.ClosedLoop; the rest of the bench
+// suite (bench_test.go) covers every other experiment.
+//
+// # Overload
+//
+// Every cell's accept path is bounded (Options.MaxPending): when the
+// accepted-but-unfinished backlog fills the bound, Submit sheds — the
+// handle resolves immediately with a *ShedError (errors.Is(err,
+// ErrOverloaded) matches, and the error carries the cell, the observed
+// queue depth, and a retry-after hint) and the op provably never entered
+// the pipeline: no state is touched on any cell and nothing reaches an
+// auditor. Where the bound sits is per cell: the synchronous cells bound
+// their worker-pool queue, the Deterministic cell bounds each partition
+// batcher's un-appended submissions (core.Config.MaxPending, and the
+// cross-partition sequence path likewise), and the dataflow cell bounds
+// its acknowledged-not-yet-applied ingress records.
+//
+// Shedding is what separates goodput from throughput past saturation.
+// Throughput counts ops the cell finished; goodput counts ops that
+// completed successfully per wall-clock second of offered load. A cell
+// without admission control accepts everything an open-loop arrival
+// process offers, so past capacity its queues — and every request's
+// latency — grow without bound: throughput looks flat while tail latency
+// collapses. With admission control the cell does bounded work at its
+// capacity, answers the rest cheaply with ErrOverloaded, and tail latency
+// for accepted work stays bounded — goodput holds near peak at 2–4×
+// offered load. E23 (RunOverloadCell, BenchmarkE23_OverloadFrontier,
+// tcabench -experiment e23) measures exactly this frontier, with Poisson
+// and bursty arrivals from internal/workload.
 //
 // # Durability
 //
@@ -267,6 +296,18 @@ type Options struct {
 	// cell packs into one group log append (zero = the runtime's default,
 	// 128). E22 sweeps it to map batch size against fsync policy.
 	MaxGroupAppend int
+	// MaxPending is the admission-control knob: how much
+	// accepted-but-unfinished work a cell will hold beyond its executing
+	// capacity before Submit sheds — the returned Handle resolves
+	// immediately with a *ShedError (errors.Is(err, ErrOverloaded)) and
+	// the op provably never runs. Zero means each cell's default bound:
+	// 4× the worker pool for the synchronous cells, 4× MaxGroupAppend
+	// un-appended submissions per partition for the Deterministic cell,
+	// and 1024 acknowledged-not-yet-applied ingress records for the
+	// dataflow cell. Negative disables admission control entirely — the
+	// pre-overload-aware behavior (blocking pools, unbounded queues).
+	// E23 sweeps offered load past saturation against this bound.
+	MaxPending int
 }
 
 // FsyncPolicy selects when the Deterministic cell's durable log forces
