@@ -1,7 +1,7 @@
 # verify is what CI runs (.github/workflows/ci.yml): formatting, vet,
 # build, the full test suite under the race detector, and a one-iteration
 # benchmark smoke pass so bench-only code paths can't rot unbuilt.
-.PHONY: verify fmt test bench bench-smoke bench-json bench-gate
+.PHONY: verify fmt test bench bench-smoke bench-json bench-gate bench-baseline
 
 verify:
 	@unformatted=$$(gofmt -l .); \
@@ -45,21 +45,27 @@ bench-json:
 	go run ./cmd/tcabench -json -ops $(BENCH_OPS) > BENCH_latest.json
 	@echo "wrote BENCH_latest.json"
 
-# bench-gate is the pinned regression gate: rerun the E10 load-model grid
-# and diff it against the checked-in baseline (ci/bench_baseline.json),
-# failing on any throughput delta beyond ±20%. E10 is the gate because
-# its service is workload.SpinService(1, 100µs) — capacity 10k ops/s by
-# construction, wall-clock spin, one slot — so its throughputs are pinned
-# by the harness, not the host: a regression here means the driver or
-# admission path got slower, on any machine. Regenerate the baseline
-# (deliberately, with the same GATE_OPS) only when the harness itself
-# changes:  go run ./cmd/tcabench -experiment e10 -ops 8000 -json > ci/bench_baseline.json
-# GATE_OPS is sized so the saturated open-loop row runs long enough to
-# settle: at 2000 ops its throughput swings ~30% run to run; at 8000 the
-# spread is ~7%, comfortably inside the ±20% gate.
+# bench-gate is the pinned regression gate: run the statistical gate grid
+# (tcabench -grid: E10's three load models, a model-mode E16 partition
+# pair, one E23 shed-on overload point — each row GATE_REPEATS seeded
+# repeats) and diff it against the checked-in baseline
+# (ci/bench_baseline.json) with the std-aware compare: a throughput delta
+# gates only when it exceeds ±20% AND 2× the pooled repeat std, and a row
+# missing from the fresh run fails outright. The rows are pinned by
+# construction, not the host: E10 drives workload.SpinService(1, 100µs)
+# (capacity 10k ops/s), E16 runs the core on the modeled 80µs append (no
+# filesystem), and E23 offers a fixed 2000/s well below capacity so
+# goodput tracks the offered rate. The grid JSON lands in BENCH_gate.json
+# (CI uploads it as an artifact).
 GATE_OPS ?= 8000
+GATE_REPEATS ?= 3
 bench-gate:
-	@tmp=$$(mktemp); \
-	go run ./cmd/tcabench -experiment e10 -ops $(GATE_OPS) -json > $$tmp || { rm -f $$tmp; exit 1; }; \
-	go run ./cmd/tcabench -compare -threshold 20 ci/bench_baseline.json $$tmp; \
-	status=$$?; rm -f $$tmp; exit $$status
+	go run ./cmd/tcabench -grid -ops $(GATE_OPS) -repeats $(GATE_REPEATS) -seed 1 > BENCH_gate.json
+	go run ./cmd/tcabench -compare -threshold 20 ci/bench_baseline.json BENCH_gate.json
+
+# bench-baseline regenerates the gate baseline in place — deliberately,
+# with the same knobs as bench-gate, only when the harness or the gate
+# grid itself changes.
+bench-baseline:
+	go run ./cmd/tcabench -grid -ops $(GATE_OPS) -repeats $(GATE_REPEATS) -seed 1 > ci/bench_baseline.json
+	@echo "wrote ci/bench_baseline.json"

@@ -12,6 +12,7 @@ package tca
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1149,7 +1150,8 @@ func BenchmarkE20_ConcurrencyMatrix(b *testing.B) {
 			for _, model := range allModels {
 				b.Run(fmt.Sprintf("%s/%s/clients=%d", mix, model, clients), func(b *testing.B) {
 					b.ResetTimer()
-					res, err := RunConcurrencyCell(mix, model, clients, b.N)
+					res, err := RunConcurrencyCellOpts(mix, model, clients, b.N,
+						ConcurrencyOptions{Audit: true, LogDir: os.TempDir(), Seed: 7})
 					b.StopTimer()
 					if err != nil {
 						b.Fatal(err)

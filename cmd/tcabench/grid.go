@@ -1,0 +1,256 @@
+// The -grid runner: the pinned statistical gate grid behind
+// `make bench-gate`. Each entry pairs a grid.Spec (the declared axes,
+// repeat count, and base seed) with the RunFunc that executes one row
+// under one seed. The rows are chosen to be machine-independent-ish so
+// the CI baseline travels: e10 drives a constructed 10k ops/s spin
+// service, e16 runs the deterministic core's partition scaling on the
+// modeled append (no real WAL), and e23 offers a fixed rate well below
+// capacity so goodput tracks the offered rate, not the host's ceiling.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"tca"
+	"tca/internal/core"
+	"tca/internal/grid"
+	"tca/internal/mq"
+	"tca/internal/workload"
+)
+
+// gridEntry pairs one experiment's grid spec with its row runner.
+type gridEntry struct {
+	spec grid.Spec
+	run  grid.RunFunc
+}
+
+// gateGrid declares the pinned gate rows: E10's three load models, a
+// model-mode E16 partition-scaling pair, and one E23 shed-on overload
+// point on the microservices cell.
+func gateGrid(ops, repeats int, baseSeed int64) []gridEntry {
+	return []gridEntry{
+		{
+			spec: grid.Spec{
+				Experiment: "e10",
+				Axes: []grid.Axis{
+					{Name: "driver", Values: []string{"closed-4", "open-0.5x", "open-2x"}},
+				},
+				Repeats: repeats, BaseSeed: baseSeed, Ops: ops,
+				ThroughputKey: "ops_s", AcceptKey: "p99_us",
+			},
+			run: runE10GridRow,
+		},
+		{
+			spec: grid.Spec{
+				Experiment: "e16",
+				Axes: []grid.Axis{
+					{Name: "mode", Values: []string{"model"}},
+					{Name: "partitions", Values: []string{"1", "4"}},
+				},
+				Repeats: repeats, BaseSeed: baseSeed, Ops: ops,
+				ThroughputKey: "tx_s", AcceptKey: "accept_p99_us",
+			},
+			run: runE16GridRow,
+		},
+		{
+			// ops/4 arrivals at a fixed 2000/s: an experiment-sized run
+			// (~ops/8000 seconds) whose goodput sits at the offered rate on
+			// any host fast enough to run the suite at all.
+			spec: grid.Spec{
+				Experiment: "e23",
+				Axes: []grid.Axis{
+					{Name: "mix", Values: []string{"tpcc"}},
+					{Name: "model", Values: []string{"microservices"}},
+					{Name: "shed", Values: []string{"on"}},
+					{Name: "rate", Values: []string{"2000"}},
+				},
+				Repeats: repeats, BaseSeed: baseSeed, Ops: ops / 4,
+				ThroughputKey: "goodput_s", AcceptKey: "accept_p99_us", ApplyKey: "apply_p99_us",
+			},
+			run: runE23GridRow,
+		},
+	}
+}
+
+// runGrid executes the gate grid and writes the grid.Summary JSON to
+// stdout (progress narrates on stderr). Returns the process exit code.
+func runGrid(ops, repeats int, baseSeed int64) int {
+	sum := grid.Summary{OpsPerCell: ops, Repeats: repeats, BaseSeed: baseSeed}
+	for _, e := range gateGrid(ops, repeats, baseSeed) {
+		results, err := grid.RunObserved(e.spec, e.run, func(row grid.Row, r int) {
+			fmt.Fprintf(os.Stderr, "grid %s %s repeat %d/%d\n",
+				e.spec.Experiment, row.Name(), r+1, e.spec.Repeats)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
+			return 1
+		}
+		for _, res := range results {
+			sum.Rows = append(sum.Rows, res.BenchRow(e.spec))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runE10GridRow measures one load model against the constructed 10k
+// ops/s spin service. The closed driver has no arrival randomness (its
+// reservoir subsamples under a fixed stream); the open drivers seed
+// their Poisson schedules per repeat.
+func runE10GridRow(row grid.Row, seed int64, ops int) (grid.Sample, error) {
+	service := workload.SpinService(1, 100*time.Microsecond)
+	var res workload.DriverResult
+	switch d := row.Knob("driver"); d {
+	case "closed-4":
+		res = workload.ClosedLoop(4, ops/4, 0, service)
+	case "open-0.5x":
+		res = workload.OpenLoop(seed, ops, 5000, service)
+	case "open-2x":
+		res = workload.OpenLoop(seed, ops, 20000, service)
+	default:
+		return grid.Sample{}, fmt.Errorf("unknown e10 driver %q", d)
+	}
+	return grid.Sample{Throughput: res.Throughput(), Accept: res.LatencySamples}, nil
+}
+
+// runE16GridRow measures the deterministic core's partition scaling in
+// the requested mode ("model" = modeled append, no real WAL — the
+// machine-independent gate configuration; "wal" = real temp-dir log).
+func runE16GridRow(row grid.Row, seed int64, ops int) (grid.Sample, error) {
+	parts, err := strconv.Atoi(row.Knob("partitions"))
+	if err != nil {
+		return grid.Sample{}, fmt.Errorf("bad e16 partitions %q", row.Knob("partitions"))
+	}
+	var model bool
+	switch m := row.Knob("mode"); m {
+	case "model":
+		model = true
+	case "wal":
+		model = false
+	default:
+		return grid.Sample{}, fmt.Errorf("unknown e16 mode %q", m)
+	}
+	rate, accept, err := runE16Cell(parts, ops, model, seed)
+	if err != nil {
+		return grid.Sample{}, err
+	}
+	return grid.Sample{Throughput: rate, Accept: accept}, nil
+}
+
+// runE16Cell drives one partition-scaling cell: shard-local touch ops
+// from 64 clients against `parts` log partitions. In model mode the
+// append latency is the modeled 80µs SequenceDelay (no filesystem); off
+// it, the cell runs on a real write-ahead log in a throwaway directory
+// removed before the function returns — per cell, so repeated calls
+// (grid repeats, the E16 table sweep) never accumulate temp dirs.
+// Returns the run rate and the per-submit accept samples from a
+// reservoir seeded with seed.
+func runE16Cell(parts, ops int, model bool, seed int64) (float64, []time.Duration, error) {
+	cfg := core.Config{
+		Name:       fmt.Sprintf("bench16-%d", parts),
+		Workers:    16,
+		Partitions: parts,
+	}
+	if model {
+		cfg.SequenceDelay = 80 * time.Microsecond
+	} else {
+		dir, err := os.MkdirTemp("", "tcabench-e16-")
+		if err != nil {
+			return 0, nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.LogDir = dir
+	}
+	rt := core.NewRuntime(mq.NewBroker(), cfg)
+	rt.Register("touch", func(tx *core.Tx, args []byte) ([]byte, error) {
+		key := string(args)
+		raw, _, _ := tx.Get(key)
+		return nil, tx.Put(key, append(raw[:len(raw):len(raw)], 'x'))
+	})
+	if err := rt.Start(); err != nil {
+		return 0, nil, err
+	}
+	defer rt.Stop()
+	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
+	const accounts = 256
+	// Shard-local only: pair each account with a partition-mate.
+	byPart := make(map[int][]int)
+	for a := 0; a < accounts; a++ {
+		p := rt.PartitionOf(acct(a))
+		byPart[p] = append(byPart[p], a)
+	}
+	var pairs [][2]int
+	for _, group := range byPart {
+		for i := 0; i+1 < len(group); i += 2 {
+			pairs = append(pairs, [2]int{group[i], group[i+1]})
+		}
+	}
+	const clients = 64
+	accept := workload.NewLatencyReservoir(0, seed)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < ops; i += clients {
+				pair := pairs[i%len(pairs)]
+				keys := []string{acct(pair[0]), acct(pair[1])}
+				t0 := time.Now()
+				rt.Submit(fmt.Sprintf("e16-%d-%d-%d", seed, parts, i), "touch", keys, []byte(keys[0]), nil)
+				accept.Record(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(ops) / elapsed.Seconds(), accept.Samples(), nil
+}
+
+// runE23GridRow measures one overload-frontier point through the shared
+// driver tca.RunOverloadCell, with the arrival schedule, op stream, and
+// reservoir sampling all keyed to the repeat seed.
+func runE23GridRow(row grid.Row, seed int64, ops int) (grid.Sample, error) {
+	model, err := parseModel(row.Knob("model"))
+	if err != nil {
+		return grid.Sample{}, err
+	}
+	rate, err := strconv.ParseFloat(row.Knob("rate"), 64)
+	if err != nil {
+		return grid.Sample{}, fmt.Errorf("bad e23 rate %q", row.Knob("rate"))
+	}
+	res, err := tca.RunOverloadCell(row.Knob("mix"), model, rate, ops, tca.OverloadOptions{
+		Shed:   row.Knob("shed") == "on",
+		LogDir: os.TempDir(),
+		Seed:   seed,
+	})
+	if err != nil {
+		return grid.Sample{}, err
+	}
+	return grid.Sample{
+		Throughput: res.Goodput(),
+		Accept:     res.AcceptSamples,
+		Apply:      res.ApplySamples,
+		Extra:      map[string]float64{"shed_pct": 100 * res.ShedFraction()},
+	}, nil
+}
+
+// parseModel resolves a model's String() name back to the model.
+func parseModel(name string) (tca.ProgrammingModel, error) {
+	for _, m := range allModels {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q", name)
+}

@@ -6,9 +6,19 @@
 // With -json the tables are replaced by a machine-readable summary on
 // stdout (one row object per table row, metrics keyed by name), which
 // `make bench-json` writes to BENCH_latest.json so the perf trajectory
-// can be tracked across PRs. `tcabench -compare old.json new.json` diffs
-// two such summaries and flags throughput regressions beyond -threshold
-// (default ±20%), exiting nonzero when any row regressed.
+// can be tracked across PRs.
+//
+// With -grid the single-run tables are replaced by the statistical gate
+// grid (internal/grid): each pinned row runs -repeats times with the
+// seed varied deterministically (-seed + repeat index), and the summary
+// carries mean/std/min/max throughput plus pooled-p99 latency per row —
+// what `make bench-gate` diffs against ci/bench_baseline.json.
+//
+// `tcabench -compare old.json new.json` diffs two summaries and flags
+// throughput regressions beyond -threshold (default ±20%). When both
+// sides carry repeat spreads the gate is std-aware: a delta inside
+// 2× the pooled std is reported as noise, not failed. Rows present in
+// old but missing from new fail the comparison outright.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"tca/internal/core"
 	"tca/internal/faas"
 	"tca/internal/fabric"
+	"tca/internal/grid"
 	"tca/internal/metrics"
 	"tca/internal/mq"
 	"tca/internal/workload"
@@ -36,20 +47,15 @@ var allModels = []tca.ProgrammingModel{
 	tca.Microservices, tca.Actors, tca.CloudFunctions, tca.StatefulDataflow, tca.Deterministic,
 }
 
-// benchRow is one machine-readable result row.
-type benchRow struct {
-	Experiment string             `json:"experiment"`
-	Row        string             `json:"row"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
 // reporter accumulates rows for the -json summary alongside the tables.
+// The row schema (grid.BenchRow) is shared with the grid runner and the
+// comparison, so every emitter and consumer agree on what a row means.
 type reporter struct {
-	rows []benchRow
+	rows []grid.BenchRow
 }
 
 func (r *reporter) add(exp, row string, m map[string]float64) {
-	r.rows = append(r.rows, benchRow{Experiment: exp, Row: row, Metrics: m})
+	r.rows = append(r.rows, grid.BenchRow{Experiment: exp, Row: row, Metrics: m})
 }
 
 // auditOn is the -audit escape hatch: off drops the live auditors (and
@@ -74,6 +80,12 @@ func main() {
 		"compare two -json summaries instead of running: tcabench -compare old.json new.json")
 	threshold := flag.Float64("threshold", 20,
 		"with -compare, flag throughput deltas beyond this percentage")
+	gridRun := flag.Bool("grid", false,
+		"run the pinned statistical gate grid instead of the tables; JSON summary on stdout")
+	repeats := flag.Int("repeats", 3,
+		"with -grid, how many seeded repeats each row runs")
+	seed := flag.Int64("seed", 1,
+		"with -grid, the base seed (repeat r uses seed base+r)")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -81,6 +93,9 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+	if *gridRun {
+		os.Exit(runGrid(*ops, *repeats, *seed))
 	}
 	switch *audit {
 	case "live":
@@ -143,10 +158,7 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			OpsPerCell int        `json:"ops_per_cell"`
-			Rows       []benchRow `json:"rows"`
-		}{*ops, rep.rows}); err != nil {
+		if err := enc.Encode(grid.Summary{OpsPerCell: *ops, Rows: rep.rows}); err != nil {
 			fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
 			os.Exit(1)
 		}
@@ -243,65 +255,19 @@ func runE6(w *tabwriter.Writer, rep *reporter, ops int) {
 // runE16 prints the deterministic core's partition-scaling experiment:
 // the same transfer workload against 1/2/4/8 log partitions, all
 // shard-local traffic, on the real write-ahead log (a throwaway temp
-// directory per cell) — the serial append cost sharding overlaps.
+// directory per cell, removed per cell) — the serial append cost
+// sharding overlaps. The cell driver (runE16Cell, in grid.go) is shared
+// with the gate grid's model-mode rows.
 func runE16(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w, "E16: core partition scaling — shard-local transfers, real WAL per partition")
 	fmt.Fprintln(w, "partitions\tthroughput\tspeedup")
-	acct := func(a int) string { return fmt.Sprintf("acc/%d", a) }
 	var base float64
 	for _, parts := range []int{1, 2, 4, 8} {
-		dir, err := os.MkdirTemp("", "tcabench-e16-")
+		rate, _, err := runE16Cell(parts, ops, false, 11)
 		if err != nil {
 			fmt.Fprintf(w, "%d\terror: %v\n", parts, err)
 			continue
 		}
-		defer os.RemoveAll(dir)
-		rt := core.NewRuntime(mq.NewBroker(), core.Config{
-			Name:       fmt.Sprintf("bench16-%d", parts),
-			Workers:    16,
-			Partitions: parts,
-			LogDir:     dir,
-		})
-		rt.Register("touch", func(tx *core.Tx, args []byte) ([]byte, error) {
-			key := string(args)
-			raw, _, _ := tx.Get(key)
-			return nil, tx.Put(key, append(raw[:len(raw):len(raw)], 'x'))
-		})
-		if err := rt.Start(); err != nil {
-			fmt.Fprintf(w, "%d\terror: %v\n", parts, err)
-			continue
-		}
-		const accounts = 256
-		// Shard-local only: pair each account with a partition-mate.
-		byPart := make(map[int][]int)
-		for a := 0; a < accounts; a++ {
-			p := rt.PartitionOf(acct(a))
-			byPart[p] = append(byPart[p], a)
-		}
-		var pairs [][2]int
-		for _, group := range byPart {
-			for i := 0; i+1 < len(group); i += 2 {
-				pairs = append(pairs, [2]int{group[i], group[i+1]})
-			}
-		}
-		const clients = 64
-		var wg sync.WaitGroup
-		start := time.Now()
-		for c := 0; c < clients; c++ {
-			wg.Add(1)
-			go func(c int) {
-				defer wg.Done()
-				for i := c; i < ops; i += clients {
-					pair := pairs[i%len(pairs)]
-					keys := []string{acct(pair[0]), acct(pair[1])}
-					rt.Submit(fmt.Sprintf("e16-%d-%d", parts, i), "touch", keys, []byte(keys[0]), nil)
-				}
-			}(c)
-		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		rt.Stop()
-		rate := float64(ops) / elapsed.Seconds()
 		if parts == 1 {
 			base = rate
 		}
@@ -864,42 +830,20 @@ func runE23(w *tabwriter.Writer, rep *reporter, ops int) {
 	fmt.Fprintln(w)
 }
 
-// throughputMetrics are the metric keys -compare treats as "bigger is
-// better" rates worth flagging; latency and anomaly counts are reported
-// but never flagged (they swing with machine load at tcabench's quick
-// -ops scales).
-var throughputMetrics = []string{"tx_s", "ops_s", "query_s", "tx_s_audited", "tx_s_off", "goodput_s"}
-
-// benchSummary is the -json document shape (what BENCH_latest.json holds).
-type benchSummary struct {
-	OpsPerCell int        `json:"ops_per_cell"`
-	Rows       []benchRow `json:"rows"`
-}
-
-func readSummary(path string) (*benchSummary, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var s benchSummary
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	return &s, nil
-}
-
-// runCompare diffs two -json summaries row by row and prints every
-// throughput metric whose delta exceeds ±threshold percent. Returns the
-// process exit code: 1 when any regression (delta below -threshold) was
-// flagged, 0 otherwise — improvements and missing rows are reported but
-// don't fail the comparison.
+// runCompare diffs two -json summaries through grid.Compare and prints
+// every flagged delta. Throughput gating is std-aware when both sides
+// carry repeat spreads: a delta beyond the percentage threshold but
+// inside 2× the pooled std is reported as noise, not failed. Latency
+// swings are informational. Returns the process exit code: 1 when any
+// throughput metric regressed or any old row is missing from new, 0
+// otherwise.
 func runCompare(oldPath, newPath string, threshold float64) int {
-	oldSum, err := readSummary(oldPath)
+	oldSum, err := grid.ReadSummary(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
 		return 2
 	}
-	newSum, err := readSummary(newPath)
+	newSum, err := grid.ReadSummary(newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcabench: %v\n", err)
 		return 2
@@ -908,51 +852,33 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		fmt.Printf("note: ops_per_cell differs (%d vs %d) — rates are not directly comparable\n",
 			oldSum.OpsPerCell, newSum.OpsPerCell)
 	}
-	oldRows := make(map[string]benchRow, len(oldSum.Rows))
-	for _, r := range oldSum.Rows {
-		oldRows[r.Experiment+"/"+r.Row] = r
-	}
+	res := grid.Compare(oldSum, newSum, grid.CompareOptions{ThresholdPct: threshold})
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "row\tmetric\told\tnew\tdelta")
-	regressions, improvements, compared := 0, 0, 0
-	seen := make(map[string]bool, len(newSum.Rows))
-	for _, nr := range newSum.Rows {
-		key := nr.Experiment + "/" + nr.Row
-		seen[key] = true
-		or, ok := oldRows[key]
-		if !ok {
-			fmt.Fprintf(w, "%s\t(new row)\t-\t-\t-\n", key)
-			continue
+	fmt.Fprintln(w, "row\tmetric\told\tnew\tdelta\tpooled-std\tverdict")
+	for _, d := range res.Deltas {
+		verdict := map[string]string{
+			"regression":  "REGRESSED",
+			"improvement": "improved",
+			"noise":       "noise (within repeat spread)",
+			"latency":     "latency (informational)",
+		}[d.Kind]
+		std := "-"
+		if d.PooledStd > 0 {
+			std = fmt.Sprintf("%.1f", d.PooledStd)
 		}
-		for _, metric := range throughputMetrics {
-			newV, ok := nr.Metrics[metric]
-			if !ok {
-				continue
-			}
-			oldV, ok := or.Metrics[metric]
-			if !ok || oldV <= 0 {
-				continue
-			}
-			compared++
-			delta := 100 * (newV - oldV) / oldV
-			if delta < -threshold {
-				regressions++
-				fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%+.1f%% REGRESSED\n", key, metric, oldV, newV, delta)
-			} else if delta > threshold {
-				improvements++
-				fmt.Fprintf(w, "%s\t%s\t%.0f\t%.0f\t%+.1f%% improved\n", key, metric, oldV, newV, delta)
-			}
-		}
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%+.1f%%\t%s\t%s\n",
+			d.RowKey, d.Metric, d.Old, d.New, d.Pct, std, verdict)
 	}
-	for key := range oldRows {
-		if !seen[key] {
-			fmt.Fprintf(w, "%s\t(row dropped)\t-\t-\t-\n", key)
-		}
+	for _, key := range res.Added {
+		fmt.Fprintf(w, "%s\t(new row)\t-\t-\t-\t-\t-\n", key)
+	}
+	for _, key := range res.Missing {
+		fmt.Fprintf(w, "%s\t(MISSING from new)\t-\t-\t-\t-\tFAILED\n", key)
 	}
 	w.Flush()
-	fmt.Printf("%d metrics compared: %d regressed, %d improved beyond %.0f%%\n",
-		compared, regressions, improvements, threshold)
-	if regressions > 0 {
+	fmt.Printf("%d metrics compared: %d regressed, %d improved, %d noise-suppressed beyond %.0f%%; %d rows missing\n",
+		res.Compared, res.Regressions, res.Improvements, res.Suppressed, threshold, len(res.Missing))
+	if res.Failed() {
 		return 1
 	}
 	return 0

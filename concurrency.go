@@ -44,6 +44,12 @@ type ConcurrencyOptions struct {
 	// modeled SequenceDelay is then not charged; the log's own append+fsync
 	// cost is the measured accept latency. Other models ignore it.
 	LogDir string
+	// Seed varies the clients' op streams and the reservoirs' sampling
+	// deterministically — the knob grid repeats turn. Zero reproduces the
+	// historical fixed streams (client c seeded 100+c), so existing
+	// callers and baselines are unchanged; seed s ≠ 0 gives client c the
+	// stream seed 100 + s·1e6 + c, keeping repeat streams disjoint.
+	Seed int64
 }
 
 // ConcurrencyResult is one cell of the concurrency matrix.
@@ -78,6 +84,9 @@ type ConcurrencyResult struct {
 	GraphCycles int
 	// Audited reports whether the auditor ran.
 	Audited bool
+	// AcceptSamples and ApplySamples are the bounded reservoirs' retained
+	// sample sets, exported so grid repeats can pool their tails.
+	AcceptSamples, ApplySamples []time.Duration
 }
 
 // Throughput returns applied (accepted and not rejected) ops per second.
@@ -273,15 +282,21 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 
 	pool := make(chan *concClient, clients)
 	for c := 0; c < clients; c++ {
+		streamSeed := int64(100 + c)
+		sessID := fmt.Sprintf("c%d", c)
+		if copts.Seed != 0 {
+			streamSeed = 100 + copts.Seed*1_000_000 + int64(c)
+			sessID = fmt.Sprintf("s%d/c%d", copts.Seed, c)
+		}
 		pool <- &concClient{
-			sess: NewSession(cell, fmt.Sprintf("c%d", c), SessionOptions{MaxInFlight: 8}),
-			next: mixStream(mix, int64(100+c)),
+			sess: NewSession(cell, sessID, SessionOptions{MaxInFlight: 8}),
+			next: mixStream(mix, streamSeed),
 		}
 	}
 
 	acceptHist, applyHist := metrics.NewHistogram(), metrics.NewHistogram()
-	acceptRes := workload.NewLatencyReservoir(0, 1)
-	applyRes := workload.NewLatencyReservoir(0, 2)
+	acceptRes := workload.NewLatencyReservoir(0, copts.Seed*2+1)
+	applyRes := workload.NewLatencyReservoir(0, copts.Seed*2+2)
 	var rejected, shed atomic.Int64
 	var auditSeq atomic.Int64
 	var inflight sync.WaitGroup
@@ -352,14 +367,16 @@ func RunConcurrencyCellOpts(mix string, model ProgrammingModel, clients, ops int
 	}
 	elapsed := time.Since(start)
 	out := ConcurrencyResult{
-		Issued:    res.Issued,
-		Rejected:  rejected.Load(),
-		Shed:      shed.Load(),
-		Elapsed:   elapsed,
-		AcceptP50: time.Duration(acceptHist.Snapshot().P50),
-		ApplyP50:  time.Duration(applyHist.Snapshot().P50),
-		AcceptP99: acceptRes.P99(),
-		ApplyP99:  applyRes.P99(),
+		Issued:        res.Issued,
+		Rejected:      rejected.Load(),
+		Shed:          shed.Load(),
+		Elapsed:       elapsed,
+		AcceptP50:     time.Duration(acceptHist.Snapshot().P50),
+		ApplyP50:      time.Duration(applyHist.Snapshot().P50),
+		AcceptP99:     acceptRes.P99(),
+		ApplyP99:      applyRes.P99(),
+		AcceptSamples: acceptRes.Samples(),
+		ApplySamples:  applyRes.Samples(),
 	}
 	if aud != nil {
 		anomalies, err := aud.Verify(cell)
@@ -424,6 +441,9 @@ type OverloadResult struct {
 	// accepted ops only.
 	AcceptP50, AcceptP99, AcceptP999 time.Duration
 	ApplyP99, ApplyP999              time.Duration
+	// AcceptSamples and ApplySamples are the bounded reservoirs' retained
+	// sample sets, exported so grid repeats can pool their tails.
+	AcceptSamples, ApplySamples []time.Duration
 	// Anomalies and Violations are the audit verdict when Audit was on.
 	Anomalies  []string
 	Violations int
@@ -601,16 +621,18 @@ func RunOverloadCell(mix string, model ProgrammingModel, rate float64, ops int, 
 		return OverloadResult{}, err
 	}
 	out := OverloadResult{
-		Offered:    rate,
-		Issued:     int64(ops),
-		Shed:       shed.Load(),
-		Failed:     failed.Load(),
-		Elapsed:    elapsed,
-		AcceptP50:  accept.P50(),
-		AcceptP99:  accept.P99(),
-		AcceptP999: accept.P999(),
-		ApplyP99:   apply.P99(),
-		ApplyP999:  apply.P999(),
+		Offered:       rate,
+		Issued:        int64(ops),
+		Shed:          shed.Load(),
+		Failed:        failed.Load(),
+		Elapsed:       elapsed,
+		AcceptP50:     accept.P50(),
+		AcceptP99:     accept.P99(),
+		AcceptP999:    accept.P999(),
+		ApplyP99:      apply.P99(),
+		ApplyP999:     apply.P999(),
+		AcceptSamples: accept.Samples(),
+		ApplySamples:  apply.Samples(),
 	}
 	if aud != nil {
 		anomalies, err := aud.Verify(cell)

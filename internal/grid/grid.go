@@ -1,0 +1,197 @@
+// Package grid is the declarative experiment-grid runner behind
+// `tcabench -grid` and the CI regression gate: a Spec declares an
+// experiment's knob axes, a repeat count, and a base seed; Run expands
+// the axes into rows, executes each row once per repeat with the seed
+// varied deterministically (BaseSeed + repeat index), and aggregates the
+// repeats into per-row mean/std/min/max throughput plus pooled latency
+// tails. The package also owns the machine-readable summary schema
+// (Summary — what BENCH_latest.json and ci/bench_baseline.json hold) and
+// the std-aware comparison that gates PRs on it, so the runner, the
+// emitter, and the gate can never disagree about what a row means.
+//
+// Isolation contract: a RunFunc must build all of its state fresh on
+// every call — cells, runtimes, brokers, temp-dir logs — and tear it
+// down before returning. Nothing may survive a repeat in package-level
+// state; the repeat seeds (not execution order) are the only thing that
+// distinguishes two repeats, which is what makes row statistics
+// invariant under grid-order shuffling (pinned in grid_test.go).
+package grid
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Axis is one knob of a grid: a name and the values to sweep.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Spec declares one experiment's grid.
+type Spec struct {
+	// Experiment is the id the emitted rows carry (e.g. "e10").
+	Experiment string
+	// Axes are the knobs; the grid's rows are their cartesian product in
+	// declaration order (first axis slowest).
+	Axes []Axis
+	// Repeats is how many times each row runs (min 1). Repeat r uses seed
+	// BaseSeed + r, so the repeat index — never wall-clock or execution
+	// order — determines a repeat's randomness.
+	Repeats int
+	// BaseSeed anchors the per-repeat seeds (zero means 1).
+	BaseSeed int64
+	// Ops is the per-run operation count handed to the RunFunc.
+	Ops int
+	// ThroughputKey names the throughput metric in the emitted row
+	// ("ops_s", "tx_s", "goodput_s"): the mean lands under the key itself
+	// — old single-run consumers keep working — and the spread under
+	// key_std/key_min/key_max.
+	ThroughputKey string
+	// AcceptKey and ApplyKey, when non-empty, name the pooled-p99 latency
+	// metrics (microseconds) computed from the repeats' accept/apply
+	// sample sets.
+	AcceptKey, ApplyKey string
+}
+
+// Row is one cell of the expanded grid: the experiment id plus one value
+// per axis.
+type Row struct {
+	Experiment string
+	names      []string
+	values     []string
+}
+
+// Knob returns the row's value for the named axis ("" if absent).
+func (r Row) Knob(name string) string {
+	for i, n := range r.names {
+		if n == name {
+			return r.values[i]
+		}
+	}
+	return ""
+}
+
+// Name renders the row label the summary uses: "axis=value" pairs joined
+// by "/" in axis order.
+func (r Row) Name() string {
+	if len(r.names) == 0 {
+		return "default"
+	}
+	parts := make([]string, len(r.names))
+	for i := range r.names {
+		parts[i] = r.names[i] + "=" + r.values[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Rows expands the spec's axes into their cartesian product, first axis
+// slowest. A spec with no axes yields one knobless row.
+func (s Spec) Rows() []Row {
+	rows := []Row{{Experiment: s.Experiment}}
+	for _, ax := range s.Axes {
+		next := make([]Row, 0, len(rows)*len(ax.Values))
+		for _, r := range rows {
+			for _, v := range ax.Values {
+				nr := Row{
+					Experiment: s.Experiment,
+					names:      append(append([]string(nil), r.names...), ax.Name),
+					values:     append(append([]string(nil), r.values...), v),
+				}
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	return rows
+}
+
+// Sample is one repeat's measurement of one row.
+type Sample struct {
+	// Throughput is the run's rate under the spec's ThroughputKey.
+	Throughput float64
+	// Accept and Apply are the run's latency sample sets (the bounded
+	// reservoir contents); Run pools them across repeats for the row's
+	// tail estimate.
+	Accept, Apply []time.Duration
+	// Extra metrics are averaged across repeats and emitted with a _std
+	// companion (informational — the gate never fails on them).
+	Extra map[string]float64
+}
+
+// RunFunc executes one row once under one seed. It must construct all
+// state fresh and release it before returning (see the package comment).
+type RunFunc func(row Row, seed int64, ops int) (Sample, error)
+
+// RowResult aggregates one row's repeats.
+type RowResult struct {
+	Row     Row
+	Repeats int
+	// Throughput is the repeat spread of the run rates.
+	Throughput Stats
+	// AcceptP99 and ApplyP99 are p99s over the pooled per-repeat sample
+	// sets (zero when no samples were reported).
+	AcceptP99, ApplyP99 time.Duration
+	// Extra holds the spread of each extra metric.
+	Extra map[string]Stats
+}
+
+// Run executes every row of the spec Repeats times and aggregates. Rows
+// run sequentially in expansion order; each row's repeat r always uses
+// seed BaseSeed + r, so results are independent of row order.
+func Run(spec Spec, run RunFunc) ([]RowResult, error) {
+	return RunObserved(spec, run, nil)
+}
+
+// RunObserved is Run with a progress callback invoked before each repeat
+// (nil means none) — tcabench narrates grid progress on stderr with it.
+func RunObserved(spec Spec, run RunFunc, observe func(row Row, repeat int)) ([]RowResult, error) {
+	if spec.Repeats < 1 {
+		spec.Repeats = 1
+	}
+	base := spec.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	var out []RowResult
+	for _, row := range spec.Rows() {
+		rates := make([]float64, 0, spec.Repeats)
+		var acceptSets, applySets [][]time.Duration
+		extras := map[string][]float64{}
+		for r := 0; r < spec.Repeats; r++ {
+			if observe != nil {
+				observe(row, r)
+			}
+			sample, err := run(row, base+int64(r), spec.Ops)
+			if err != nil {
+				return nil, fmt.Errorf("grid %s %s repeat %d: %w", spec.Experiment, row.Name(), r, err)
+			}
+			rates = append(rates, sample.Throughput)
+			if len(sample.Accept) > 0 {
+				acceptSets = append(acceptSets, sample.Accept)
+			}
+			if len(sample.Apply) > 0 {
+				applySets = append(applySets, sample.Apply)
+			}
+			for k, v := range sample.Extra {
+				extras[k] = append(extras[k], v)
+			}
+		}
+		res := RowResult{
+			Row:        row,
+			Repeats:    spec.Repeats,
+			Throughput: NewStats(rates),
+			AcceptP99:  PooledQuantile(acceptSets, 0.99),
+			ApplyP99:   PooledQuantile(applySets, 0.99),
+		}
+		if len(extras) > 0 {
+			res.Extra = make(map[string]Stats, len(extras))
+			for k, vs := range extras {
+				res.Extra[k] = NewStats(vs)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

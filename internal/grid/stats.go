@@ -1,0 +1,75 @@
+package grid
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Stats is the repeat spread of one metric: sample mean, sample standard
+// deviation (n−1 denominator; zero when n < 2), and the observed range.
+type Stats struct {
+	Mean, Std, Min, Max float64
+	N                   int
+}
+
+// NewStats computes the spread of xs. An empty slice yields the zero
+// Stats; a single observation has Std 0 and Min = Max = Mean.
+func NewStats(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: xs[0], Max: xs[0], N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// PooledQuantile returns the q-quantile over the concatenation of the
+// sample sets — the row-level tail estimate that pools every repeat's
+// reservoir instead of averaging per-repeat quantiles (averaging biases
+// the tail low when repeats disagree). The convention matches
+// workload.LatencyReservoir: sorted index int(q·n), q ≥ 1 the maximum.
+// Zero samples return zero.
+func PooledQuantile(sets [][]time.Duration, q float64) time.Duration {
+	var n int
+	for _, s := range sets {
+		n += len(s)
+	}
+	if n == 0 {
+		return 0
+	}
+	pool := make([]time.Duration, 0, n)
+	for _, s := range sets {
+		pool = append(pool, s...)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	if q >= 1 {
+		return pool[len(pool)-1]
+	}
+	if q < 0 {
+		q = 0
+	}
+	idx := int(q * float64(len(pool)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}

@@ -1,0 +1,72 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRow is one machine-readable result row — the schema of
+// BENCH_latest.json and ci/bench_baseline.json. Metrics are keyed by
+// name; a grid-produced row carries the throughput mean under the plain
+// key (so single-run consumers keep working) plus key_std/key_min/
+// key_max, a "repeats" count, and pooled-p99 latency keys.
+type BenchRow struct {
+	Experiment string             `json:"experiment"`
+	Row        string             `json:"row"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Key is the row's identity in a summary: experiment/row.
+func (r BenchRow) Key() string { return r.Experiment + "/" + r.Row }
+
+// Summary is the -json document. Repeats and BaseSeed are present only
+// on grid-produced summaries; single-run emitters leave them zero and
+// older files without the fields decode to zero — both sides of a
+// comparison may therefore be either shape.
+type Summary struct {
+	OpsPerCell int        `json:"ops_per_cell"`
+	Repeats    int        `json:"repeats,omitempty"`
+	BaseSeed   int64      `json:"base_seed,omitempty"`
+	Rows       []BenchRow `json:"rows"`
+}
+
+// ReadSummary decodes one summary file.
+func ReadSummary(path string) (*Summary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &s, nil
+}
+
+// BenchRow renders one aggregated row into the summary schema under the
+// spec's metric names.
+func (res RowResult) BenchRow(spec Spec) BenchRow {
+	m := map[string]float64{
+		"repeats": float64(res.Repeats),
+	}
+	key := spec.ThroughputKey
+	if key == "" {
+		key = "tx_s"
+	}
+	m[key] = res.Throughput.Mean
+	m[key+"_std"] = res.Throughput.Std
+	m[key+"_min"] = res.Throughput.Min
+	m[key+"_max"] = res.Throughput.Max
+	if spec.AcceptKey != "" && res.AcceptP99 > 0 {
+		m[spec.AcceptKey] = float64(res.AcceptP99) / 1e3
+	}
+	if spec.ApplyKey != "" && res.ApplyP99 > 0 {
+		m[spec.ApplyKey] = float64(res.ApplyP99) / 1e3
+	}
+	for k, st := range res.Extra {
+		m[k] = st.Mean
+		m[k+"_std"] = st.Std
+	}
+	return BenchRow{Experiment: res.Row.Experiment, Row: res.Row.Name(), Metrics: m}
+}

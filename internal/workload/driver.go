@@ -27,6 +27,9 @@ type DriverResult struct {
 	// P99 is the tail of the same distribution, from a bounded reservoir
 	// (LatencyReservoir) — the column the experiment tables report.
 	P99 time.Duration
+	// LatencySamples is the reservoir's retained sample set, exported so
+	// grid repeats can pool their tails (grid.PooledQuantile).
+	LatencySamples []time.Duration
 }
 
 // Throughput returns completed operations per second.
@@ -68,11 +71,12 @@ func ClosedLoop(clients, opsPerClient int, think time.Duration, op Op) DriverRes
 	}
 	wg.Wait()
 	return DriverResult{
-		Issued:  int64(clients * opsPerClient),
-		Errors:  errs.Load(),
-		Elapsed: time.Since(start),
-		Latency: hist.Snapshot(),
-		P99:     res.P99(),
+		Issued:         int64(clients * opsPerClient),
+		Errors:         errs.Load(),
+		Elapsed:        time.Since(start),
+		Latency:        hist.Snapshot(),
+		P99:            res.P99(),
+		LatencySamples: res.Samples(),
 	}
 }
 
@@ -201,11 +205,12 @@ func OpenLoopArrivals(arrivals ArrivalProcess, n int, op Op) DriverResult {
 	}
 	wg.Wait()
 	return DriverResult{
-		Issued:  int64(n),
-		Errors:  errs.Load(),
-		Elapsed: time.Since(start),
-		Latency: hist.Snapshot(),
-		P99:     res.P99(),
+		Issued:         int64(n),
+		Errors:         errs.Load(),
+		Elapsed:        time.Since(start),
+		Latency:        hist.Snapshot(),
+		P99:            res.P99(),
+		LatencySamples: res.Samples(),
 	}
 }
 

@@ -58,6 +58,16 @@ func (r *LatencyReservoir) Record(d time.Duration) {
 	}
 }
 
+// Samples returns a copy of the retained sample set — the bounded
+// uniform subsample the quantiles are computed from. Grid runs pool the
+// sets across repeats for a pooled tail estimate (grid.PooledQuantile)
+// instead of averaging per-repeat quantiles.
+func (r *LatencyReservoir) Samples() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.samples...)
+}
+
 // Count returns how many observations were recorded (not retained).
 func (r *LatencyReservoir) Count() int64 {
 	r.mu.Lock()

@@ -3,6 +3,7 @@ package tca
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,13 @@ type SessionOptions struct {
 	// Backoff is the base delay before the first retry; it doubles per
 	// attempt (capped at 64× the base) with full jitter. Zero means 200µs.
 	Backoff time.Duration
+	// Rand draws the retry jitter. Nil means a generator seeded from the
+	// session id (FNV-1a), so a rerun with the same session ids draws the
+	// identical jitter sequence — what keeps audited overload runs
+	// seed-stable end to end (the arrival schedules already are). The
+	// session serializes its draws; hand a generator to at most one
+	// session and use it nowhere else.
+	Rand *rand.Rand
 }
 
 // Session is a client of one deployed Cell: it assigns the session's
@@ -56,6 +64,11 @@ type Session struct {
 	retries atomic.Int64
 	slots   chan struct{}
 	wg      sync.WaitGroup
+
+	// rng draws retry jitter under rngMu: retry chains for distinct
+	// submissions run concurrently, and *rand.Rand is not safe to share.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu   sync.Mutex
 	last map[string]Handle // OrderKeys: latest handle per declared key
@@ -76,10 +89,17 @@ func NewSession(cell Cell, id string, opts SessionOptions) *Session {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 200 * time.Microsecond
 	}
+	rng := opts.Rand
+	if rng == nil {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
 	return &Session{
 		cell:  cell,
 		id:    id,
 		opts:  opts,
+		rng:   rng,
 		slots: make(chan struct{}, opts.MaxInFlight),
 		last:  make(map[string]Handle),
 	}
@@ -161,13 +181,7 @@ func (s *Session) submitWithRetry(reqID, opName string, args []byte, tr *fabric.
 		maxBackoff := 64 * s.opts.Backoff
 		for attempt := 2; ; attempt++ {
 			s.retries.Add(1)
-			// Full jitter over the current backoff window, floored by the
-			// cell's own retry-after hint.
-			wait := time.Duration(rand.Int63n(int64(backoff) + 1))
-			if wait < retryAfter {
-				wait = retryAfter
-			}
-			time.Sleep(wait)
+			time.Sleep(s.retryWait(backoff, retryAfter))
 			if backoff < maxBackoff {
 				backoff *= 2
 			}
@@ -184,6 +198,20 @@ func (s *Session) submitWithRetry(reqID, opName string, args []byte, tr *fabric.
 		}
 	}()
 	return out
+}
+
+// retryWait draws full jitter over the current backoff window from the
+// session's seeded generator, floored by the cell's own retry-after
+// hint. Seeded (not the global math/rand) so the draw sequence is a
+// function of the session id alone — pinned in TestSessionJitterSeeded.
+func (s *Session) retryWait(backoff, floor time.Duration) time.Duration {
+	s.rngMu.Lock()
+	wait := time.Duration(s.rng.Int63n(int64(backoff) + 1))
+	s.rngMu.Unlock()
+	if wait < floor {
+		wait = floor
+	}
+	return wait
 }
 
 // sheddedSync reports whether a just-returned handle already resolved to
