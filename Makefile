@@ -30,12 +30,16 @@ bench:
 # (removed when the run ends), so the durable-log path gets a real
 # append+fsync+replay smoke on every verify; the E23 pass measures a
 # capacity and sweeps offered load past it through the admission-control
-# path (bounded queues, typed sheds, open-loop reservoirs) on every cell.
+# path (bounded queues, typed sheds, open-loop reservoirs) on every cell;
+# the E24 pass deploys a 2-region async replica group and drives the
+# geo-replication path end to end (shipping, convergence, staleness
+# probe) plus the sequenced sweep through the same driver.
 bench-smoke:
 	go test -bench . -benchtime 1x -run '^$$'
 	go run ./cmd/tcabench -experiment e21 -ops 24 > /dev/null
 	go run ./cmd/tcabench -experiment e22 -ops 64 > /dev/null
 	go run ./cmd/tcabench -experiment e23 -ops 16 > /dev/null
+	go run ./cmd/tcabench -experiment e24 -ops 48 > /dev/null
 
 # bench-json writes a machine-readable summary of the headline
 # experiments to BENCH_latest.json so the perf trajectory can be tracked
@@ -47,15 +51,18 @@ bench-json:
 
 # bench-gate is the pinned regression gate: run the statistical gate grid
 # (tcabench -grid: E10's three load models, a model-mode E16 partition
-# pair, one E23 shed-on overload point — each row GATE_REPEATS seeded
-# repeats) and diff it against the checked-in baseline
+# pair, one E23 shed-on overload point, one E24 2-region async geo point
+# — each row GATE_REPEATS seeded repeats) and diff it against the
+# checked-in baseline
 # (ci/bench_baseline.json) with the std-aware compare: a throughput delta
 # gates only when it exceeds ±20% AND 2× the pooled repeat std, and a row
 # missing from the fresh run fails outright. The rows are pinned by
 # construction, not the host: E10 drives workload.SpinService(1, 100µs)
 # (capacity 10k ops/s), E16 runs the core on the modeled 80µs append (no
-# filesystem), and E23 offers a fixed 2000/s well below capacity so
-# goodput tracks the offered rate. The grid JSON lands in BENCH_gate.json
+# filesystem), E23 offers a fixed 2000/s well below capacity so goodput
+# tracks the offered rate, and E24 paces a 2-region async replica group
+# at a fixed 500/s with modeled WAN latency (the gated read p99 is
+# fabric-trace time). The grid JSON lands in BENCH_gate.json
 # (CI uploads it as an artifact).
 GATE_OPS ?= 8000
 GATE_REPEATS ?= 3

@@ -1,0 +1,241 @@
+package tca
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tca/internal/workload"
+)
+
+// Cross-model and concurrency tests for the apps ISSUE 10 promoted to
+// first-class workloads: the reserved marketplace, the trip-booking saga
+// (from examples/booking), and the double-entry ledger (from
+// examples/streamledger).
+
+// TestReservedMarketCrossModelAudit drives the reserved checkout serially
+// under all five cells: every cell must match the serial reference
+// exactly — the reserved protocol's writes are pure functions of their
+// arguments, so there is no stale-read surface at any isolation level.
+func TestReservedMarketCrossModelAudit(t *testing.T) {
+	cfg := workload.MarketConfig{
+		Users: 8, Products: 6,
+		CartFrac: 0.45, CheckoutFrac: 0.20, PriceFrac: 0.10,
+		ZipfS: 1.2,
+	}
+	const ops = 150
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			env := NewEnv(1, 3)
+			cell, err := Deploy(model, MarketAppReserved(), env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cell.Close()
+			gen := workload.NewReservedMarket(42, cfg)
+			audit := NewMarketReservedAuditor()
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				_, err := cell.Invoke(fmt.Sprintf("r%d", i), marketOpName(op), args, nil)
+				if model == StatefulDataflow {
+					if err := cell.Settle(); err != nil {
+						t.Fatal(err)
+					}
+					audit.RecordOp(op)
+				} else if err == nil {
+					audit.RecordOp(op)
+				} else if op.Kind != workload.MarketCheckout {
+					t.Fatalf("op %d (%s): %v", i, marketOpName(op), err)
+				}
+			}
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range anomalies {
+				t.Errorf("anomaly: %s", a)
+			}
+		})
+	}
+}
+
+// TestReservedMarketEliminatesWriteSkew is the satellite claim itself:
+// under the same concurrent harness where the plain marketplace drifts on
+// the eventual cell (E21's tolerate-the-drift row), the reserved protocol
+// audits clean — zero anomalies, not fewer.
+func TestReservedMarketEliminatesWriteSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent audited run")
+	}
+	res, err := RunConcurrencyCell("market-res", StatefulDataflow, 16, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Audited {
+		t.Fatal("auditor did not run")
+	}
+	for _, a := range res.Anomalies {
+		t.Errorf("reserved checkout anomaly: %s", a)
+	}
+	if res.GraphCycles != 0 {
+		t.Errorf("GraphCycles = %d, want 0", res.GraphCycles)
+	}
+	if res.Issued-res.Rejected < 100 {
+		t.Fatalf("degenerate run: %d accepted of %d issued", res.Issued-res.Rejected, res.Issued)
+	}
+}
+
+// TestBookingCrossModelAudit drives the promoted trip-booking app
+// serially under all five cells against its auditor.
+func TestBookingCrossModelAudit(t *testing.T) {
+	const ops = 120
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			env := NewEnv(1, 3)
+			cell, err := Deploy(model, BookingApp(), env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cell.Close()
+			gen := workload.NewBooking(11, 16, 4, 4, 0.2, 0.15)
+			audit := NewBookingAuditor()
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				if _, err := cell.Invoke(fmt.Sprintf("b%d", i), bookingOpName(op), args, nil); err != nil {
+					t.Fatalf("op %d (%s): %v", i, bookingOpName(op), err)
+				}
+				audit.RecordOp(op)
+				if model == StatefulDataflow {
+					if err := cell.Settle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range anomalies {
+				t.Errorf("anomaly: %s", a)
+			}
+		})
+	}
+}
+
+// TestLedgerCrossModelAudit drives the promoted ledger app serially under
+// all five cells: conservation must hold and every balance must match the
+// reference.
+func TestLedgerCrossModelAudit(t *testing.T) {
+	const ops = 120
+	for _, model := range allModels {
+		t.Run(model.String(), func(t *testing.T) {
+			env := NewEnv(1, 3)
+			cell, err := Deploy(model, LedgerApp(), env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cell.Close()
+			gen := workload.NewLedger(13, 12, 0.15)
+			audit := NewLedgerAuditor()
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				args, _ := json.Marshal(op)
+				if _, err := cell.Invoke(fmt.Sprintf("l%d", i), ledgerOpName(op), args, nil); err != nil {
+					t.Fatalf("op %d (%s): %v", i, ledgerOpName(op), err)
+				}
+				audit.RecordOp(op)
+				if model == StatefulDataflow {
+					if err := cell.Settle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			anomalies, err := audit.Verify(cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range anomalies {
+				t.Errorf("anomaly: %s", a)
+			}
+		})
+	}
+}
+
+// TestStatefunCellCrashRecoverReads pins the stateful-dataflow cell's
+// crash/recovery surface end to end through the tca API, the path
+// examples/streamledger demos: checkpoint, more writes, crash before the
+// next checkpoint, recover, and the replayed state must be exact and
+// readable. Regression test for the restarted relay producer being
+// sequence-deduplicated against its fenced predecessor (same
+// transactional id, fresh sequence space) — the broker must scope
+// idempotence by producer epoch or every post-recovery relayed message,
+// probes included, is silently dropped.
+func TestStatefunCellCrashRecoverReads(t *testing.T) {
+	env := NewEnv(1, 3)
+	cell, err := Deploy(StatefulDataflow, geoTestApp(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cell.Close()
+	bump := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			args, _ := json.Marshal(geoTestArgs{K: "cnt/0", V: 1})
+			if _, err := cell.Invoke(fmt.Sprintf("w%d", i), "bump", args, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cell.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bump(0, 10)
+	sf := StatefunRuntime(cell)
+	if sf == nil {
+		t.Fatal("StatefunRuntime returned nil for a statefun cell")
+	}
+	if _, err := sf.TriggerCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	bump(10, 15) // un-checkpointed tail: must replay from the input log
+	sf.Crash()
+	if err := sf.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	raw, found, err := cell.Read("cnt/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || DecodeInt(raw) != 15 {
+		t.Fatalf("cnt/0 = %d (found=%v), want 15", DecodeInt(raw), found)
+	}
+}
+
+// TestNewMixesRegistered pins the workload-layer registration: the three
+// promoted mixes drive through the concurrent harness on a synchronous
+// cell and audit clean (they commute or, for market-res, are pure
+// functions of their arguments).
+func TestNewMixesRegistered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent audited runs")
+	}
+	for _, mix := range []string{"booking", "ledger"} {
+		mix := mix
+		t.Run(mix, func(t *testing.T) {
+			res, err := RunConcurrencyCell(mix, Actors, 8, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Audited {
+				t.Fatal("auditor did not run")
+			}
+			for _, a := range res.Anomalies {
+				t.Errorf("anomaly: %s", a)
+			}
+		})
+	}
+}

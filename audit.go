@@ -119,6 +119,12 @@ type AuditStats struct {
 	// explainable by a serialization contradicting real-time precedence —
 	// a cycle in the precedence graph, reported as a violation.
 	GraphCycles int
+	// Staleness is the geo-replication staleness probe: under async
+	// replication, reads from a replica are query answering over
+	// possibly-divergent state, so the auditor quantifies the divergence
+	// (replication lag, per-key windows) instead of forbidding it. Zero
+	// for single-region and sequenced deployments.
+	Staleness StalenessStats
 }
 
 // Auditor is the uniform live-auditing interface every workload ships.
@@ -256,6 +262,7 @@ type refAuditor struct {
 	observed  int64
 	reordered int
 	cycles    int
+	staleness StalenessStats
 
 	// reorder buffers sequenced commits (Commit.Seq != 0), kept sorted by
 	// Seq, so folding happens in the cell's serialization order even when
@@ -454,6 +461,34 @@ func (a *refAuditor) Stats() AuditStats {
 		LiveViolations: a.violTotal,
 		Reordered:      a.reordered,
 		GraphCycles:    a.cycles,
+		Staleness:      a.staleness,
+	}
+}
+
+// ObserveStaleness folds a replica group's staleness probe into the
+// auditor's stats. It is not part of the Auditor interface — geo
+// harnesses feed it by type assertion, so third-party auditors stay
+// valid — and it is monotone: counters accumulate, maxima keep the peak
+// across multiple probes.
+func (a *refAuditor) ObserveStaleness(s StalenessStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.staleness.ShippedBatches += s.ShippedBatches
+	a.staleness.ShippedWrites += s.ShippedWrites
+	if s.MaxLagTxns > a.staleness.MaxLagTxns {
+		a.staleness.MaxLagTxns = s.MaxLagTxns
+	}
+	if s.MaxShipWait > a.staleness.MaxShipWait {
+		a.staleness.MaxShipWait = s.MaxShipWait
+	}
+	if s.MaxWANLag > a.staleness.MaxWANLag {
+		a.staleness.MaxWANLag = s.MaxWANLag
+	}
+	if s.MaxLag > a.staleness.MaxLag {
+		a.staleness.MaxLag = s.MaxLag
+	}
+	if s.MaxKeyWindow > a.staleness.MaxKeyWindow {
+		a.staleness.MaxKeyWindow = s.MaxKeyWindow
 	}
 }
 

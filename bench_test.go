@@ -1358,3 +1358,51 @@ func BenchmarkE23_OverloadFrontier(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE24_GeoFrontier maps the geo frontier: the marketplace as a
+// replica group, regions {1,2,3} × WAN {20ms, 80ms} × read mode, async
+// (eventual cells shipping versioned deltas in the background) vs
+// sequenced (the deterministic core behind the WAN-round-tripping global
+// sequencer). The reported latencies are modeled (fabric trace) time:
+// async local reads hold near the single-region path while the
+// staleness probe prices their possible lag; home reads pay the WAN
+// round trip, and every sequenced cross-region commit pays at least the
+// sequencer's quorum round trip. The driver is tca.RunGeoCell, shared
+// with cmd/tcabench (e24).
+func BenchmarkE24_GeoFrontier(b *testing.B) {
+	for _, mode := range []ReplicationMode{AsyncReplication, SequencedReplication} {
+		for _, regions := range []int{1, 2, 3} {
+			for _, wan := range []time.Duration{20 * time.Millisecond, 80 * time.Millisecond} {
+				if regions == 1 && wan != 20*time.Millisecond {
+					continue
+				}
+				for _, read := range []ReadMode{ReadLocal, ReadHome} {
+					if regions == 1 && read != ReadLocal {
+						continue
+					}
+					b.Run(fmt.Sprintf("%v/r=%d/wan=%v/read=%v", mode, regions, wan, read), func(b *testing.B) {
+						res, err := RunGeoCell(GeoConfig{
+							Mode: mode, Regions: regions, WAN: wan, Read: read,
+							Ops: b.N, Seed: 7,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if n := len(res.Anomalies); n > 0 {
+							b.Fatalf("%d anomalies: %v", n, res.Anomalies[0])
+						}
+						if !res.Converged {
+							b.Fatalf("replicas diverged on %d keys: %v", len(res.Diverged), res.Diverged[0])
+						}
+						accepted := res.Issued - res.Rejected
+						b.ReportMetric(float64(accepted)/res.Elapsed.Seconds(), "tx/s")
+						b.ReportMetric(float64(res.ReadP99)/1e3, "read-p99-us")
+						b.ReportMetric(float64(res.WriteP99)/1e3, "write-p99-us")
+						b.ReportMetric(float64(res.Staleness.MaxLag)/1e6, "max-lag-ms")
+						b.ReportMetric(float64(res.Staleness.MaxLagTxns), "lag-txns")
+					})
+				}
+			}
+		}
+	}
+}

@@ -138,3 +138,14 @@ func (c *coreCell) Close()        { c.rt.Stop() }
 // Runtime exposes the underlying deterministic runtime for checkpoint and
 // crash/recovery control (tests, the recovery experiments).
 func (c *coreCell) Runtime() *core.Runtime { return c.rt }
+
+// CoreRuntime returns the deterministic cell's underlying runtime — the
+// crash/replay control surface — or nil for any other cell, so demos and
+// drivers can exercise recovery without depending on the cell's concrete
+// type.
+func CoreRuntime(c Cell) *core.Runtime {
+	if cc, ok := c.(*coreCell); ok {
+		return cc.rt
+	}
+	return nil
+}

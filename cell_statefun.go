@@ -606,3 +606,13 @@ func (c *statefunCell) Peek(key string) ([]byte, bool, error) {
 
 func (c *statefunCell) Settle() error { return c.sf.WaitIdle(10 * time.Second) }
 func (c *statefunCell) Close()        { c.sf.Stop() }
+
+// StatefunRuntime returns the eventual cell's underlying statefun app —
+// the checkpoint and crash/recover control surface — or nil for any
+// other cell, the dataflow counterpart of CoreRuntime.
+func StatefunRuntime(c Cell) *statefun.App {
+	if sc, ok := c.(*statefunCell); ok {
+		return sc.sf
+	}
+	return nil
+}

@@ -74,6 +74,25 @@ func gateGrid(ops, repeats int, baseSeed int64) []gridEntry {
 			},
 			run: runE23GridRow,
 		},
+		{
+			// A 2-region async pass at a fixed sub-capacity rate: the WAN
+			// is modeled (fabric trace), so the gated read p99 is the
+			// pipeline's modeled latency — machine-independent by
+			// construction — and tx/s tracks the offered rate.
+			spec: grid.Spec{
+				Experiment: "e24",
+				Axes: []grid.Axis{
+					{Name: "mode", Values: []string{"async"}},
+					{Name: "regions", Values: []string{"2"}},
+					{Name: "wan", Values: []string{"20ms"}},
+					{Name: "read", Values: []string{"local"}},
+					{Name: "rate", Values: []string{"500"}},
+				},
+				Repeats: repeats, BaseSeed: baseSeed, Ops: ops / 8,
+				ThroughputKey: "tx_s", AcceptKey: "read_p99_us",
+			},
+			run: runE24GridRow,
+		},
 	}
 }
 
@@ -242,6 +261,66 @@ func runE23GridRow(row grid.Row, seed int64, ops int) (grid.Sample, error) {
 		Accept:     res.AcceptSamples,
 		Apply:      res.ApplySamples,
 		Extra:      map[string]float64{"shed_pct": 100 * res.ShedFraction()},
+	}, nil
+}
+
+// runE24GridRow measures one geo-frontier point through the shared
+// driver tca.RunGeoCell in its paced open-loop mode. Everything the row
+// gates is modeled (fabric-trace) time, so the baseline travels across
+// hosts; the run must also converge exactly and audit clean, or the row
+// errors out.
+func runE24GridRow(row grid.Row, seed int64, ops int) (grid.Sample, error) {
+	regions, err := strconv.Atoi(row.Knob("regions"))
+	if err != nil {
+		return grid.Sample{}, fmt.Errorf("bad e24 regions %q", row.Knob("regions"))
+	}
+	wan, err := time.ParseDuration(row.Knob("wan"))
+	if err != nil {
+		return grid.Sample{}, fmt.Errorf("bad e24 wan %q", row.Knob("wan"))
+	}
+	rate, err := strconv.ParseFloat(row.Knob("rate"), 64)
+	if err != nil {
+		return grid.Sample{}, fmt.Errorf("bad e24 rate %q", row.Knob("rate"))
+	}
+	var mode tca.ReplicationMode
+	switch row.Knob("mode") {
+	case "async":
+		mode = tca.AsyncReplication
+	case "sequenced":
+		mode = tca.SequencedReplication
+	default:
+		return grid.Sample{}, fmt.Errorf("unknown e24 mode %q", row.Knob("mode"))
+	}
+	var read tca.ReadMode
+	switch row.Knob("read") {
+	case "local":
+		read = tca.ReadLocal
+	case "home":
+		read = tca.ReadHome
+	default:
+		return grid.Sample{}, fmt.Errorf("unknown e24 read mode %q", row.Knob("read"))
+	}
+	res, err := tca.RunGeoCell(tca.GeoConfig{
+		Mode: mode, Regions: regions, WAN: wan, Read: read,
+		Rate: rate, Ops: ops, Seed: seed,
+	})
+	if err != nil {
+		return grid.Sample{}, err
+	}
+	if n := len(res.Anomalies); n > 0 {
+		return grid.Sample{}, fmt.Errorf("e24 row audited %d anomalies (first: %s)", n, res.Anomalies[0])
+	}
+	if !res.Converged {
+		return grid.Sample{}, fmt.Errorf("e24 replicas diverged on %d keys (first: %s)", len(res.Diverged), res.Diverged[0])
+	}
+	accepted := res.Issued - res.Rejected
+	return grid.Sample{
+		Throughput: float64(accepted) / res.Elapsed.Seconds(),
+		Accept:     res.ReadSamples,
+		Extra: map[string]float64{
+			"max_lag_ms":     float64(res.Staleness.MaxLag) / 1e6,
+			"shipped_writes": float64(res.Staleness.ShippedWrites),
+		},
 	}, nil
 }
 

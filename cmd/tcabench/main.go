@@ -69,7 +69,7 @@ var arrivalMode = "poisson"
 func main() {
 	ops := flag.Int("ops", 500, "operations per experiment cell")
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23 (or all)")
+		"comma-separated experiments to run: f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23,e24 (or all)")
 	jsonOut := flag.Bool("json", false,
 		"emit a machine-readable JSON summary on stdout instead of tables")
 	audit := flag.String("audit", "live",
@@ -129,6 +129,7 @@ func main() {
 		{"e21", runE21},
 		{"e22", runE22},
 		{"e23", runE23},
+		{"e24", runE24},
 	}
 	selected := map[string]bool{}
 	for _, name := range strings.Split(strings.ToLower(*experiment), ",") {
@@ -138,7 +139,7 @@ func main() {
 			valid = valid || name == exp.name
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "tcabench: unknown experiment %q (use f1,e6,e10,e16,e17,e18,e19,e20,e21,e22,e23,e24 or all)\n", name)
 			os.Exit(2)
 		}
 		selected[name] = true
@@ -822,6 +823,61 @@ func runE23(w *tabwriter.Writer, rep *reporter, ops int) {
 						"shed_pct":       100 * res.ShedFraction(),
 						"accept_p999_us": float64(res.AcceptP999) / 1e3,
 						"apply_p999_us":  float64(res.ApplyP999) / 1e3,
+					})
+				}
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// runE24 prints the geo frontier: the marketplace deployed as a replica
+// group across regions {1,2,3} × WAN {20ms, 80ms} × read mode, async
+// (eventual cells, local commit + background shipping) vs sequenced
+// (deterministic core behind the global sequencer). Latencies are
+// modeled (fabric trace) time: local reads stay near the single-region
+// path while the staleness probe prices the divergence they may see;
+// home reads and sequenced commits pay the WAN. The driver is
+// tca.RunGeoCell, shared with BenchmarkE24_GeoFrontier.
+func runE24(w *tabwriter.Writer, rep *reporter, ops int) {
+	fmt.Fprintln(w, "E24: geo frontier — local-read staleness vs cross-region commit cost")
+	fmt.Fprintln(w, "mode\tregions\twan\tread\ttx/s\tread-p50\tread-p99\twrite-p50\twrite-p99\tmax-lag\tlag-txns\tanomalies\tconverged")
+	for _, mode := range []tca.ReplicationMode{tca.AsyncReplication, tca.SequencedReplication} {
+		for _, regions := range []int{1, 2, 3} {
+			for _, wan := range []time.Duration{20 * time.Millisecond, 80 * time.Millisecond} {
+				if regions == 1 && wan != 20*time.Millisecond {
+					continue // no WAN at one region; skip the duplicate row
+				}
+				for _, read := range []tca.ReadMode{tca.ReadLocal, tca.ReadHome} {
+					if regions == 1 && read != tca.ReadLocal {
+						continue // home == local at one region
+					}
+					res, err := tca.RunGeoCell(tca.GeoConfig{
+						Mode: mode, Regions: regions, WAN: wan, Read: read,
+						Ops: ops, Seed: 7,
+					})
+					if err != nil {
+						fmt.Fprintf(w, "%v\t%d\t%v\t%v\terror: %v\n", mode, regions, wan, read, err)
+						continue
+					}
+					accepted := res.Issued - res.Rejected
+					rate := float64(accepted) / res.Elapsed.Seconds()
+					anoms := len(res.Anomalies)
+					fmt.Fprintf(w, "%v\t%d\t%v\t%v\t%.0f\t%v\t%v\t%v\t%v\t%v\t%d\t%d\t%v\n",
+						mode, regions, wan, read, rate,
+						res.ReadP50.Round(time.Microsecond), res.ReadP99.Round(time.Microsecond),
+						res.WriteP50.Round(time.Microsecond), res.WriteP99.Round(time.Microsecond),
+						res.Staleness.MaxLag.Round(time.Millisecond), res.Staleness.MaxLagTxns,
+						anoms, res.Converged)
+					rep.add("e24", fmt.Sprintf("%v/r=%d/wan=%dms/read=%v", mode, regions, wan.Milliseconds(), read), map[string]float64{
+						"tx_s":           rate,
+						"read_p50_us":    float64(res.ReadP50) / 1e3,
+						"read_p99_us":    float64(res.ReadP99) / 1e3,
+						"write_p99_us":   float64(res.WriteP99) / 1e3,
+						"max_lag_ms":     float64(res.Staleness.MaxLag) / 1e6,
+						"lag_txns":       float64(res.Staleness.MaxLagTxns),
+						"shipped_writes": float64(res.Staleness.ShippedWrites),
+						"anomalies":      float64(anoms),
 					})
 				}
 			}

@@ -30,7 +30,11 @@ var ConcurrencyMixes = []string{"tpcc", "social"}
 
 // AuditedMixes are the workloads the E21 live-audit-overhead sweep
 // drives: every first-class App, each under its incremental Auditor.
-var AuditedMixes = []string{"bank", "tpcc", "market", "social"}
+// "market-res" is the reservation-style marketplace (ROADMAP 4b) —
+// identical op mix to "market", restructured so commutativity and
+// unique key ownership replace isolation; "booking" and "ledger" are
+// the example programs promoted to first-class audited mixes.
+var AuditedMixes = []string{"bank", "tpcc", "market", "market-res", "booking", "ledger", "social"}
 
 // ConcurrencyOptions tunes one concurrency-cell run.
 type ConcurrencyOptions struct {
@@ -114,6 +118,12 @@ func mixApp(mix string) (*App, error) {
 		return TPCCApp(), nil
 	case "market":
 		return MarketApp(), nil
+	case "market-res":
+		return MarketAppReserved(), nil
+	case "booking":
+		return BookingApp(), nil
+	case "ledger":
+		return LedgerApp(), nil
 	case "social":
 		return SocialApp(), nil
 	default:
@@ -130,6 +140,12 @@ func newMixAuditor(mix string) Auditor {
 		return NewTPCCAuditor()
 	case "market":
 		return NewMarketAuditor()
+	case "market-res":
+		return NewMarketReservedAuditor()
+	case "booking":
+		return NewBookingAuditor()
+	case "ledger":
+		return NewLedgerAuditor()
 	default:
 		return NewSocialAuditor()
 	}
@@ -169,6 +185,33 @@ func mixStream(mix string, seed int64) func() (string, []byte) {
 			op := gen.Next()
 			args, _ := json.Marshal(op)
 			return marketOpName(op), args
+		}
+	case "market-res":
+		// The same mix shape as "market" — only the reservation
+		// bookkeeping (ids, quotes, claims) differs, so the reserved row
+		// is comparable to the tolerate-the-drift row next to it.
+		cfg := workload.DefaultMarketConfig()
+		cfg.Users, cfg.Products = 256, 64
+		cfg.ZipfS = 1.3
+		gen := workload.NewReservedMarket(seed, cfg)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return marketOpName(op), args
+		}
+	case "booking":
+		gen := workload.NewBooking(seed, 64, 8, 8, 0.1, 0.2)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return bookingOpName(op), args
+		}
+	case "ledger":
+		gen := workload.NewLedger(seed, 32, 0.15)
+		return func() (string, []byte) {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			return ledgerOpName(op), args
 		}
 	default:
 		gen := workload.NewSocial(seed, 128, 16)

@@ -1,88 +1,78 @@
-// Booking: a travel-booking saga (flight, hotel, payment) with a crash of
-// the orchestrator mid-saga and recovery from the durable saga log —
-// §4.2's eventual-consistency coordination pattern, end to end.
+// Booking: the trip-booking workload (flight + hotel + trip ledger, with
+// cancellations as first-class compensations) as a tca.BookingApp —
+// deployed under two programming models, driven through pipelined
+// Sessions, crashed mid-stream on the deterministic cell, and audited
+// against the serial reference. This is the promoted form of the old
+// hand-rolled saga demo: the same all-or-nothing trip step, but running
+// under every cell's own atomicity mechanism instead of one bespoke
+// orchestrator, and checked by the shared auditor instead of a manual
+// scan.
 package main
 
 import (
-	"errors"
+	"encoding/json"
 	"fmt"
 
-	"tca/internal/saga"
-	"tca/internal/store"
+	"tca"
+	"tca/internal/workload"
 )
 
 func main() {
-	db := store.NewDB(store.Config{Name: "travel"})
-	db.CreateTable("reservations")
-	sagaLog := store.NewDB(store.Config{Name: "saga-log"})
-	orch := saga.NewOrchestrator(sagaLog)
+	for _, model := range []tca.ProgrammingModel{tca.Microservices, tca.Deterministic} {
+		env := tca.NewEnv(1, 3)
+		cell, err := tca.Deploy(model, tca.BookingApp(), env)
+		if err != nil {
+			panic(err)
+		}
 
-	reserve := func(c *saga.Ctx, what string) error {
-		return db.Update(func(tx *store.Txn) error {
-			return tx.Put("reservations", c.SagaID+"/"+what, store.Row{"ok": int64(1)})
-		})
-	}
-	release := func(c *saga.Ctx, what string) error {
-		return db.Update(func(tx *store.Txn) error {
-			return tx.Delete("reservations", c.SagaID+"/"+what)
-		})
-	}
-	def := &saga.Definition{Name: "trip", Steps: []saga.Step{
-		{
-			Name:       "flight",
-			Action:     func(c *saga.Ctx) error { return reserve(c, "flight") },
-			Compensate: func(c *saga.Ctx) error { return release(c, "flight") },
-		},
-		{
-			Name:       "hotel",
-			Action:     func(c *saga.Ctx) error { return reserve(c, "hotel") },
-			Compensate: func(c *saga.Ctx) error { return release(c, "hotel") },
-		},
-		{
-			Name: "payment",
-			Action: func(c *saga.Ctx) error {
-				if c.Data["card_declined"] == true {
-					return errors.New("card declined")
+		// Two travel agents share the cell, each a pipelined Session with
+		// its own seeded stream; OrderKeys buys read-your-writes per agent.
+		gens := []*workload.BookingGen{
+			workload.NewBooking(1, 32, 6, 6, 0.2, 0.1),
+			workload.NewBooking(2, 32, 6, 6, 0.2, 0.1),
+		}
+		sessions := []*tca.Session{
+			tca.NewSession(cell, "agent-a", tca.SessionOptions{MaxInFlight: 8, OrderKeys: true}),
+			tca.NewSession(cell, "agent-b", tca.SessionOptions{MaxInFlight: 8, OrderKeys: true}),
+		}
+		audit := tca.NewBookingAuditor()
+		const opsPerAgent = 40
+		for i := 0; i < opsPerAgent; i++ {
+			for s, sess := range sessions {
+				op := gens[s].Next()
+				args, _ := json.Marshal(op)
+				if _, err := sess.Invoke(op.Kind.String(), args, nil); err != nil {
+					panic(err)
 				}
-				return reserve(c, "payment")
-			},
-		},
-	}}
-
-	// A successful trip.
-	if err := orch.Execute(def, "trip-ok", nil); err != nil {
-		panic(err)
-	}
-	fmt.Println("trip-ok: booked")
-
-	// A declined card: the saga compensates flight and hotel.
-	err := orch.Execute(def, "trip-declined", map[string]any{"card_declined": true})
-	fmt.Printf("trip-declined: %v\n", err)
-
-	// An orchestrator crash mid-saga: simulate by restoring the log state a
-	// crashed orchestrator would leave behind, then recover.
-	fresh := saga.NewOrchestrator(sagaLog) // "restarted" orchestrator process
-	fresh.Register(def)
-	resumed, err := fresh.Recover()
-	if err != nil {
-		panic(err)
-	}
-	fmt.Printf("recovery pass: %d in-flight sagas resumed\n", resumed)
-
-	// Audit: every trip is all-or-nothing.
-	counts := map[string]int{}
-	db.View(func(tx *store.Txn) error {
-		return tx.Scan("reservations", "", "", func(k string, _ store.Row) bool {
-			for i := len(k) - 1; i >= 0; i-- {
-				if k[i] == '/' {
-					counts[k[:i]]++
-					break
-				}
+				audit.RecordOp(op)
 			}
-			return true
-		})
-	})
-	for id, n := range counts {
-		fmt.Printf("%s: %d reservations (3 = complete, 0 = compensated)\n", id, n)
+		}
+
+		// On the deterministic cell, crash the runtime mid-demo and replay
+		// its durable log — the bookings survive, exactly once.
+		if rt := tca.CoreRuntime(cell); rt != nil {
+			fmt.Printf("%v: crash! replaying the durable log\n", model)
+			rt.Crash()
+			if err := rt.Recover(); err != nil {
+				panic(err)
+			}
+		}
+		for _, sess := range sessions {
+			sess.Drain()
+		}
+		if err := cell.Settle(); err != nil {
+			panic(err)
+		}
+
+		anomalies, err := audit.Verify(cell)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: %d ops, %d anomalies (want 0)\n", model, 2*opsPerAgent, len(anomalies))
+		for _, a := range anomalies {
+			fmt.Println("  anomaly:", a)
+		}
+		audit.Close()
+		cell.Close()
 	}
 }

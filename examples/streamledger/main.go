@@ -1,90 +1,93 @@
-// Streamledger: an exactly-once account ledger on the stateful dataflow
-// engine. Deposits stream in from the log; the job keeps per-account
-// balances, checkpoints, crashes, and recovers — the final balances are
-// exact despite the crash (§4.1 checkpoint/replay fault tolerance).
+// Streamledger: the double-entry ledger as a tca.LedgerApp on the
+// stateful-dataflow cell — postings stream in through a pipelined
+// Session, the engine checkpoints, crashes, and recovers, and the final
+// balances conserve exactly despite the crash. This is the promoted form
+// of the old hand-rolled dataflow job: the same exactly-once guarantee,
+// but expressed as a first-class audited App (conservation is Σ balances
+// = 0 by double entry) instead of a bespoke pipeline with a manual
+// output scan.
 package main
 
 import (
-	"encoding/binary"
+	"encoding/json"
 	"fmt"
-	"time"
 
-	"tca/internal/dataflow"
-	"tca/internal/mq"
+	"tca"
+	"tca/internal/workload"
 )
 
-func i64(v int64) []byte {
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, uint64(v))
-	return b
-}
-
-func toI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
-
 func main() {
-	broker := mq.NewBroker()
-	broker.CreateTopic("deposits", 2)
-	broker.CreateTopic("balances", 2)
-
-	job := dataflow.NewJob(broker, dataflow.Config{Name: "ledger"}).
-		Source("deposits").
-		Stage("account", 2, func(ctx *dataflow.OpCtx, rec dataflow.Record) {
-			var bal int64
-			if raw, ok := ctx.State().Get(rec.Key); ok {
-				bal = toI64(raw)
-			}
-			bal += toI64(rec.Value)
-			ctx.State().Put(rec.Key, i64(bal))
-			ctx.Emit(rec.Key, i64(bal))
-		}).
-		SinkTo("balances") // exactly-once output, committed at checkpoints
-	if err := job.Start(); err != nil {
-		panic(err)
-	}
-
-	p := broker.NewProducer("teller")
-	accounts := []string{"alice", "bob", "carol"}
-	for i := 0; i < 30; i++ {
-		p.Send("deposits", accounts[i%3], i64(10))
-	}
-	job.WaitIdle(5 * time.Second)
-	epoch, err := job.TriggerCheckpoint()
+	env := tca.NewEnv(1, 3)
+	cell, err := tca.Deploy(tca.StatefulDataflow, tca.LedgerApp(), env)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("checkpoint %d complete; 30 deposits applied\n", epoch)
+	defer cell.Close()
 
-	// More deposits, then a crash BEFORE the next checkpoint.
-	for i := 0; i < 15; i++ {
-		p.Send("deposits", accounts[i%3], i64(10))
+	gen := workload.NewLedger(1, 8, 0.1)
+	sess := tca.NewSession(cell, "teller", tca.SessionOptions{MaxInFlight: 8})
+	audit := tca.NewLedgerAuditor()
+	defer audit.Close()
+
+	post := func(n int) {
+		for i := 0; i < n; i++ {
+			op := gen.Next()
+			args, _ := json.Marshal(op)
+			if _, err := sess.Invoke(op.Kind.String(), args, nil); err != nil {
+				panic(err)
+			}
+			audit.RecordOp(op)
+		}
 	}
-	job.WaitIdle(5 * time.Second)
-	fmt.Println("crash! (15 un-checkpointed deposits will replay)")
-	job.Crash()
-	if err := job.Recover(); err != nil {
+
+	// First batch, then a checkpoint.
+	post(30)
+	sess.Drain()
+	if err := cell.Settle(); err != nil {
 		panic(err)
 	}
-	job.WaitIdle(5 * time.Second)
-	if _, err := job.TriggerCheckpoint(); err != nil {
+	sf := tca.StatefunRuntime(cell)
+	epoch, err := sf.TriggerCheckpoint()
+	if err != nil {
 		panic(err)
 	}
-	job.Stop()
+	fmt.Printf("checkpoint %d complete; 30 postings applied\n", epoch)
 
-	// Read the committed balance stream: the last value per account must
-	// reflect every deposit exactly once: 15 deposits x 10 per account.
-	final := map[string]int64{}
-	c, _ := broker.NewConsumer("auditor", mq.AtLeastOnce, "balances")
-	for {
-		msgs, _ := c.Poll(64)
-		if msgs == nil {
-			break
-		}
-		for _, m := range msgs {
-			final[m.Key] = toI64(m.Value)
-		}
-		c.Ack()
+	// More postings, then a crash BEFORE the next checkpoint: the
+	// un-checkpointed tail replays from the durable input log.
+	post(15)
+	sess.Drain()
+	if err := cell.Settle(); err != nil {
+		panic(err)
 	}
-	for _, acc := range accounts {
-		fmt.Printf("%s: %d (want 150)\n", acc, final[acc])
+	fmt.Println("crash! (un-checkpointed postings will replay)")
+	sf.Crash()
+	if err := sf.Recover(); err != nil {
+		panic(err)
 	}
+	if err := cell.Settle(); err != nil {
+		panic(err)
+	}
+
+	// The audit proves exactly-once: every balance matches the serial
+	// reference (no lost or doubled posting), and conservation holds.
+	anomalies, err := audit.Verify(cell)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("45 postings audited, %d anomalies (want 0)\n", len(anomalies))
+	for _, a := range anomalies {
+		fmt.Println("  anomaly:", a)
+	}
+	var total int64
+	for a := 0; a < 8; a++ {
+		raw, _, err := cell.Read(workload.AcctKey(a))
+		if err != nil {
+			panic(err)
+		}
+		bal := tca.DecodeInt(raw)
+		total += bal
+		fmt.Printf("acct/%d: %+d\n", a, bal)
+	}
+	fmt.Printf("sum of balances: %d (want 0 — double entry conserves)\n", total)
 }

@@ -1,0 +1,1045 @@
+package tca
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tca/internal/fabric"
+	"tca/internal/mq"
+	"tca/internal/region"
+	"tca/internal/vclock"
+)
+
+// This file is the geo-replication layer: DeployReplicated wraps any
+// cell as a replica group spanning N regions of a region.Topology, with
+// the WAN modeled in simulated time (region latencies charge Traces,
+// like every other fabric tier — geo experiments report modeled
+// latencies that do not depend on the host).
+//
+// Two replication modes carry the paper's central trade across the WAN:
+//
+//   - AsyncReplication (the eventual cells): every region accepts writes
+//     locally; each committed op's write-set is captured as per-key
+//     versioned deltas and shipped to the peers on a short cadence
+//     (GeoOptions.ShipInterval). Commutative writes (Add, PushCap) merge
+//     exactly — they are delta/merge operations by construction — and
+//     plain Puts merge last-writer-wins under a per-region Lamport clock
+//     (internal/vclock) with the region index as tiebreak. Local reads
+//     never pay the WAN but may be stale; Drain flushes the shippers and
+//     reconciles every Put key to its global LWW winner, so replicas
+//     converge EXACTLY on quiescence. The staleness probe
+//     (StalenessStats) quantifies the divergence the auditor would
+//     otherwise have to forbid: replication lag in committed txns and in
+//     wall-modeled time, and the max per-key divergence window.
+//
+//   - SequencedReplication (the deterministic core): a single global
+//     sequencer orders every write and feeds the identical op sequence
+//     to every region's cell, so all replicas apply the same log order;
+//     the group commit round-trips the WAN to a majority
+//     (Topology.QuorumRTT) before acknowledging — cross-region commits
+//     pay >= 1 WAN RTT, and every replica is serializable against the
+//     same order (the auditor's verdict is exactly zero anomalies).
+//
+// Reads choose their consistency per request: ReadLocal serves from the
+// submitting region's replica (fast, possibly stale under async);
+// ReadHome round-trips the WAN to the home region (region 0), paying
+// latency for the freshest replica. E24 (RunGeoCell) measures the
+// resulting frontier.
+
+// ReplicationMode selects how a replica group keeps its regions in sync.
+type ReplicationMode int
+
+const (
+	// AsyncReplication ships per-key versioned deltas after local commit.
+	AsyncReplication ReplicationMode = iota
+	// SequencedReplication routes every write through one global
+	// sequencer so all regions apply the identical log order.
+	SequencedReplication
+)
+
+func (m ReplicationMode) String() string {
+	if m == SequencedReplication {
+		return "sequenced"
+	}
+	return "async"
+}
+
+// ReadMode selects which replica answers a read.
+type ReadMode int
+
+const (
+	// ReadLocal answers from the submitting region's replica: no WAN
+	// cost, staleness bounded by the replication lag.
+	ReadLocal ReadMode = iota
+	// ReadHome round-trips the WAN to the home region's replica.
+	ReadHome
+)
+
+func (m ReadMode) String() string {
+	if m == ReadHome {
+		return "home"
+	}
+	return "local"
+}
+
+// geoApplyOp is the replication op DeployReplicated registers on every
+// async replica: it applies a shipped delta batch through the cell's own
+// Txn machinery. It is infrastructure, not application traffic — its
+// writes are never re-captured or re-shipped.
+const geoApplyOp = "geo/apply"
+
+// defaultShipInterval is the async shipper cadence when GeoOptions
+// leaves it zero.
+const defaultShipInterval = time.Millisecond
+
+// geoShedRetry paces shipper retries when a replica's admission control
+// sheds a replication batch: replication is never dropped, only delayed.
+const geoShedRetry = 200 * time.Microsecond
+
+// StalenessStats is the auditor's staleness probe for one async replica
+// group: how far the replicas trail the writes they have accepted.
+// Real time (queue wait, measured) and modeled time (WAN, charged) are
+// reported separately and summed into MaxLag, matching the repo's
+// real-vs-simulated latency convention.
+type StalenessStats struct {
+	// ShippedBatches and ShippedWrites count replication traffic.
+	ShippedBatches, ShippedWrites int64
+	// MaxLagTxns is the peak number of locally committed txns not yet
+	// applied on every peer — replication lag in committed txns.
+	MaxLagTxns int64
+	// MaxShipWait is the peak real time a committed write-set waited in
+	// the outbox before shipping (bounded by the ship interval plus
+	// scheduling).
+	MaxShipWait time.Duration
+	// MaxWANLag is the peak modeled WAN latency a batch paid to reach
+	// its slowest peer.
+	MaxWANLag time.Duration
+	// MaxLag is the peak commit-to-fully-replicated delay: ship wait
+	// (real) + WAN (modeled) + remote apply (real) — replication lag in
+	// wall-modeled time.
+	MaxLag time.Duration
+	// MaxKeyWindow is the peak per-key divergence window: the longest
+	// one key continuously had shipped-but-not-everywhere-applied
+	// writes outstanding.
+	MaxKeyWindow time.Duration
+}
+
+// GeoOptions configures DeployReplicated.
+type GeoOptions struct {
+	// Mode selects the replication mode (default AsyncReplication).
+	Mode ReplicationMode
+	// WAN is the cross-region base latency when Topology is nil
+	// (default 20ms) — it becomes fabric.Config.CrossRegionLatency, the
+	// new tier every region's cluster is built with.
+	WAN time.Duration
+	// Topology, when set, overrides the uniform WAN with an explicit
+	// per-pair topology.
+	Topology *region.Topology
+	// ShipInterval is the async shipper cadence (default 1ms). The
+	// staleness bound is ShipInterval + the pair's WAN latency.
+	ShipInterval time.Duration
+	// Seed drives the per-region fabric seeds and the topology jitter
+	// (default 1).
+	Seed int64
+	// NodesPerRegion sizes each region's intra-region cluster (default 3).
+	NodesPerRegion int
+	// Cell passes deployment options to every region's cell.
+	Cell Options
+}
+
+// geoVersion orders plain Puts across regions: Lamport time with the
+// origin region index as tiebreak — a total order, so last-writer-wins
+// merges commute and every replica picks the same winner.
+type geoVersion struct {
+	T uint64 `json:"t"`
+	R int    `json:"r"`
+}
+
+func (v geoVersion) before(o geoVersion) bool {
+	return v.T < o.T || (v.T == o.T && v.R < o.R)
+}
+
+// geoWrite is one captured write, in shippable form.
+type geoWrite struct {
+	Key   string     `json:"k"`
+	Op    string     `json:"o"` // "add" | "push" | "put"
+	Delta int64      `json:"d,omitempty"`
+	ID    int64      `json:"i,omitempty"`
+	Cap   int        `json:"c,omitempty"`
+	Val   []byte     `json:"v,omitempty"`
+	Ver   geoVersion `json:"ver"`
+}
+
+// geoWriteSet is one committed op's captured writes.
+type geoWriteSet struct {
+	ReqID  string     `json:"r"`
+	Writes []geoWrite `json:"w"`
+}
+
+// geoBatch is one shipped replication batch.
+type geoBatch struct {
+	Origin int           `json:"o"`
+	Sets   []geoWriteSet `json:"s"`
+}
+
+// geoEnvelope carries the request id into the wrapped op's body, so the
+// delta recorder can key the captured write-set to the submission (and
+// overwrite it idempotently when a cell legitimately re-executes the
+// body on a conflict retry or recovery replay).
+type geoEnvelope struct {
+	R string          `json:"r"`
+	A json.RawMessage `json:"a"`
+}
+
+func wrapGeoArgs(reqID string, args []byte) []byte {
+	raw, _ := json.Marshal(geoEnvelope{R: reqID, A: args})
+	return raw
+}
+
+// geoRecorder captures the write-sets of in-flight ops on one async
+// replica. Writes recorded while a body runs are held under the reqID
+// (open); when the submission's handle resolves successfully they are
+// sealed into the outbox for shipping, and on failure they are dropped —
+// so only writes that actually committed replicate.
+type geoRecorder struct {
+	mu   sync.Mutex
+	open map[string][]geoWrite
+}
+
+func (r *geoRecorder) begin(reqID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.open[reqID] = nil
+}
+
+func (r *geoRecorder) record(reqID string, w geoWrite) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.open[reqID] = append(r.open[reqID], w)
+}
+
+func (r *geoRecorder) take(reqID string) []geoWrite {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.open[reqID]
+	delete(r.open, reqID)
+	return w
+}
+
+// geoTxn forwards one body's writes to the cell's Txn and records them
+// for replication. Reads pass through untouched.
+type geoTxn struct {
+	Txn
+	rep   *geoReplica
+	reqID string
+}
+
+func (t geoTxn) Put(key string, value []byte) error {
+	if err := t.Txn.Put(key, value); err != nil {
+		return err
+	}
+	ver := t.rep.stampPut(key)
+	t.rep.rec.record(t.reqID, geoWrite{Key: key, Op: "put", Val: value, Ver: ver})
+	return nil
+}
+
+func (t geoTxn) Add(key string, delta int64) error {
+	if err := t.Txn.Add(key, delta); err != nil {
+		return err
+	}
+	t.rep.rec.record(t.reqID, geoWrite{Key: key, Op: "add", Delta: delta})
+	return nil
+}
+
+func (t geoTxn) PushCap(key string, id int64, cap int) error {
+	if err := t.Txn.PushCap(key, id, cap); err != nil {
+		return err
+	}
+	t.rep.rec.record(t.reqID, geoWrite{Key: key, Op: "push", ID: id, Cap: cap})
+	return nil
+}
+
+// geoOutboxEntry is one sealed write-set waiting for the shipper.
+type geoOutboxEntry struct {
+	set    geoWriteSet
+	sealed time.Time
+}
+
+// geoReplica is one region's deployment within a replica group.
+type geoReplica struct {
+	idx  int
+	name string
+	env  *Env
+	cell Cell
+
+	// Async-mode state.
+	rec    *geoRecorder
+	clock  vclock.Lamport
+	verMu  sync.Mutex
+	vers   map[string]geoVersion // key -> version of the Put value applied
+	outMu  sync.Mutex
+	outbox []geoOutboxEntry
+	shipN  atomic.Int64 // reqID source for apply submissions
+}
+
+// stampPut assigns a new LWW version to a local Put and advances the
+// replica's record of the key's winning version.
+func (r *geoReplica) stampPut(key string) geoVersion {
+	v := geoVersion{T: r.clock.Tick(), R: r.idx}
+	r.verMu.Lock()
+	if cur, ok := r.vers[key]; !ok || cur.before(v) {
+		r.vers[key] = v
+	}
+	r.verMu.Unlock()
+	return v
+}
+
+// applyRemotePut decides one incoming Put under LWW: it observes the
+// remote version on the local clock (so later local writes order after
+// it) and reports whether the incoming version is at least the local
+// winner — equal versions are the same write, re-applied idempotently.
+func (r *geoReplica) applyRemotePut(key string, ver geoVersion) bool {
+	r.clock.Observe(ver.T)
+	r.verMu.Lock()
+	defer r.verMu.Unlock()
+	cur, ok := r.vers[key]
+	if ok && ver.before(cur) {
+		return false
+	}
+	r.vers[key] = ver
+	return true
+}
+
+// ReplicaGroup is one application deployed across the regions of a
+// topology — what DeployReplicated returns.
+type ReplicaGroup struct {
+	model ProgrammingModel
+	app   *App
+	mode  ReplicationMode
+	top   *region.Topology
+	reps  []*geoReplica
+
+	shipEvery time.Duration
+	stopShip  chan struct{}
+	shipWG    sync.WaitGroup
+	sealWG    sync.WaitGroup // outstanding sealOnCommit watchers
+	flushReq  chan chan struct{}
+
+	seq *geoSequencer
+
+	// Staleness probe state.
+	stMu     sync.Mutex
+	st       StalenessStats
+	pendTxns int64
+	keyOpen  map[string]time.Time // key -> divergence window start
+	keyPend  map[string]int       // key -> outstanding shipped-batch count
+	closed   atomic.Bool
+}
+
+// DeployReplicated deploys app as a replica group: one cell per region,
+// kept in sync per GeoOptions.Mode. Region names follow the topology
+// (or "region-<i>" when one is built from GeoOptions.WAN); region 0 is
+// the home region.
+func DeployReplicated(model ProgrammingModel, app *App, regions int, gopts GeoOptions) (*ReplicaGroup, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("tca: replica group needs >= 1 region (got %d)", regions)
+	}
+	seed := gopts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	wan := gopts.WAN
+	if wan <= 0 {
+		wan = 20 * time.Millisecond
+	}
+	nodes := gopts.NodesPerRegion
+	if nodes < 1 {
+		nodes = 3
+	}
+	shipEvery := gopts.ShipInterval
+	if shipEvery <= 0 {
+		shipEvery = defaultShipInterval
+	}
+
+	top := gopts.Topology
+	if top == nil {
+		cfg := fabric.DefaultConfig()
+		cfg.Seed = seed
+		cfg.CrossRegionLatency = wan
+		names := make([]string, regions)
+		for i := range names {
+			names[i] = fmt.Sprintf("region-%d", i)
+		}
+		top = region.New(cfg, names...)
+	}
+	if top.Size() != regions {
+		return nil, fmt.Errorf("tca: topology has %d regions, want %d", top.Size(), regions)
+	}
+
+	g := &ReplicaGroup{
+		model:     model,
+		app:       app,
+		mode:      gopts.Mode,
+		top:       top,
+		shipEvery: shipEvery,
+		stopShip:  make(chan struct{}),
+		flushReq:  make(chan chan struct{}),
+		keyOpen:   make(map[string]time.Time),
+		keyPend:   make(map[string]int),
+	}
+	for i, name := range top.Names() {
+		rep := &geoReplica{
+			idx:  i,
+			name: name,
+			rec:  &geoRecorder{open: make(map[string][]geoWrite)},
+			vers: make(map[string]geoVersion),
+		}
+		// Each region is its own intra-region cluster, with the
+		// cross-region tier configured and every node placed in the
+		// region — the per-region analogue of NewEnv.
+		cfg := fabric.DefaultConfig()
+		cfg.Seed = seed + int64(i)
+		cfg.CrossRegionLatency = wan
+		ids := make([]fabric.NodeID, nodes)
+		for n := range ids {
+			ids[n] = fabric.NodeID(fmt.Sprintf("%s-node-%d", name, n))
+		}
+		cluster := fabric.NewCluster(cfg, ids...)
+		for _, id := range ids {
+			cluster.SetRegion(id, name)
+		}
+		rep.env = &Env{Cluster: cluster, Broker: mq.NewBroker()}
+
+		deployApp := app
+		if g.mode == AsyncReplication {
+			deployApp = g.wrapApp(rep)
+		}
+		cell, err := DeployWith(model, deployApp, rep.env, gopts.Cell)
+		if err != nil {
+			for _, r := range g.reps {
+				r.cell.Close()
+			}
+			return nil, err
+		}
+		rep.cell = cell
+		g.reps = append(g.reps, rep)
+	}
+
+	if g.mode == AsyncReplication && regions > 1 {
+		g.shipWG.Add(1)
+		go g.shipLoop()
+	}
+	if g.mode == SequencedReplication {
+		g.seq = newGeoSequencer(g)
+	}
+	return g, nil
+}
+
+// wrapApp builds the async replica's deployment app: every user op is
+// re-registered with envelope args and a recording body, plus the
+// geo/apply replication op. The wrapped ops keep the original names,
+// key sets, and ReadOnly class, so cells schedule and audit them
+// identically.
+func (g *ReplicaGroup) wrapApp(rep *geoReplica) *App {
+	w := NewApp(g.app.Name())
+	for _, name := range g.app.Ops() {
+		inner, _ := g.app.Op(name)
+		w.Register(Op{
+			Name:     inner.Name,
+			ReadOnly: inner.ReadOnly,
+			Keys: func(args []byte) []string {
+				var env geoEnvelope
+				json.Unmarshal(args, &env)
+				return inner.Keys(env.A)
+			},
+			Body: func(tx Txn, args []byte) ([]byte, error) {
+				var env geoEnvelope
+				if err := json.Unmarshal(args, &env); err != nil {
+					return nil, err
+				}
+				if inner.ReadOnly {
+					return inner.Body(tx, env.A)
+				}
+				// Re-execution (conflict retry, recovery replay) restarts
+				// the captured set, so it is never double-shipped.
+				rep.rec.begin(env.R)
+				return inner.Body(geoTxn{Txn: tx, rep: rep, reqID: env.R}, env.A)
+			},
+		})
+	}
+	w.Register(Op{
+		Name: geoApplyOp,
+		Keys: func(args []byte) []string {
+			var b geoBatch
+			json.Unmarshal(args, &b)
+			seen := make(map[string]struct{})
+			var keys []string
+			for _, s := range b.Sets {
+				for _, wr := range s.Writes {
+					if _, dup := seen[wr.Key]; !dup {
+						seen[wr.Key] = struct{}{}
+						keys = append(keys, wr.Key)
+					}
+				}
+			}
+			return keys
+		},
+		Body: func(tx Txn, args []byte) ([]byte, error) {
+			var b geoBatch
+			if err := json.Unmarshal(args, &b); err != nil {
+				return nil, err
+			}
+			for _, s := range b.Sets {
+				for _, wr := range s.Writes {
+					var err error
+					switch wr.Op {
+					case "add":
+						err = tx.Add(wr.Key, wr.Delta)
+					case "push":
+						err = tx.PushCap(wr.Key, wr.ID, wr.Cap)
+					case "put":
+						if rep.applyRemotePut(wr.Key, wr.Ver) {
+							err = tx.Put(wr.Key, wr.Val)
+						}
+					default:
+						err = fmt.Errorf("tca: unknown geo write op %q", wr.Op)
+					}
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			return nil, nil
+		},
+	})
+	return w
+}
+
+// Regions returns the number of regions.
+func (g *ReplicaGroup) Regions() int { return len(g.reps) }
+
+// Mode returns the replication mode.
+func (g *ReplicaGroup) Mode() ReplicationMode { return g.mode }
+
+// Topology returns the group's region topology.
+func (g *ReplicaGroup) Topology() *region.Topology { return g.top }
+
+// CellAt returns region i's cell (audits, crash/recovery tests).
+func (g *ReplicaGroup) CellAt(i int) Cell { return g.reps[i].cell }
+
+// Home returns the home region index (always 0).
+func (g *ReplicaGroup) Home() int { return 0 }
+
+// Submit starts a write op at the origin region. Async mode commits
+// locally and replicates in the background; sequenced mode routes
+// through the global sequencer — the trace is charged the WAN to the
+// home sequencer plus the group's quorum round trip before the handle
+// resolves. Read-only ops should use Query instead.
+func (g *ReplicaGroup) Submit(origin int, reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	if origin < 0 || origin >= len(g.reps) {
+		return resolvedHandle(nil, fmt.Errorf("tca: unknown origin region %d", origin))
+	}
+	if g.mode == SequencedReplication {
+		return g.seq.submit(origin, reqID, opName, args, tr)
+	}
+	rep := g.reps[origin]
+	h := rep.cell.Submit(reqID, opName, wrapGeoArgs(reqID, args), tr)
+	if op, ok := g.app.Op(opName); ok && !op.ReadOnly && len(g.reps) > 1 {
+		g.sealWG.Add(1)
+		go func() {
+			defer g.sealWG.Done()
+			g.sealOnCommit(rep, reqID, h)
+		}()
+	}
+	return h
+}
+
+// Invoke is Submit(...).Result().
+func (g *ReplicaGroup) Invoke(origin int, reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	return g.Submit(origin, reqID, opName, args, tr).Result()
+}
+
+// sealOnCommit watches one async submission and, on success, moves its
+// captured write-set into the outbox for shipping. Failed ops (business
+// aborts, sheds) never replicate.
+func (g *ReplicaGroup) sealOnCommit(rep *geoReplica, reqID string, h Handle) {
+	_, err := h.Result()
+	writes := rep.rec.take(reqID)
+	if err != nil || len(writes) == 0 {
+		return
+	}
+	now := time.Now()
+	rep.outMu.Lock()
+	rep.outbox = append(rep.outbox, geoOutboxEntry{set: geoWriteSet{ReqID: reqID, Writes: writes}, sealed: now})
+	rep.outMu.Unlock()
+
+	g.stMu.Lock()
+	g.pendTxns++
+	if g.pendTxns > g.st.MaxLagTxns {
+		g.st.MaxLagTxns = g.pendTxns
+	}
+	for _, w := range writes {
+		if _, open := g.keyOpen[w.Key]; !open {
+			g.keyOpen[w.Key] = now
+		}
+		g.keyPend[w.Key]++
+	}
+	g.stMu.Unlock()
+}
+
+// Query runs a read-only op under the chosen read mode: ReadLocal at the
+// origin replica (no WAN), ReadHome at region 0 with the WAN round trip
+// charged to the trace.
+func (g *ReplicaGroup) Query(origin int, mode ReadMode, reqID, opName string, args []byte, tr *fabric.Trace) ([]byte, error) {
+	if origin < 0 || origin >= len(g.reps) {
+		return nil, fmt.Errorf("tca: unknown origin region %d", origin)
+	}
+	target := origin
+	if mode == ReadHome {
+		target = g.Home()
+		if target != origin {
+			g.top.Charge(g.reps[origin].name, g.reps[target].name, tr)
+			defer g.top.Charge(g.reps[target].name, g.reps[origin].name, tr)
+		}
+	}
+	if g.mode == AsyncReplication {
+		args = wrapGeoArgs(reqID, args)
+	}
+	return g.reps[target].cell.Invoke(reqID, opName, args, tr)
+}
+
+// ReadLocal returns the settled value of key at region i's replica.
+func (g *ReplicaGroup) ReadLocal(i int, key string) ([]byte, bool, error) {
+	return g.reps[i].cell.Read(key)
+}
+
+// ReadHome returns the settled value of key at the home replica,
+// charging the WAN round trip from region i to tr.
+func (g *ReplicaGroup) ReadHome(i int, key string, tr *fabric.Trace) ([]byte, bool, error) {
+	if i != g.Home() {
+		g.top.Charge(g.reps[i].name, g.reps[g.Home()].name, tr)
+		defer g.top.Charge(g.reps[g.Home()].name, g.reps[i].name, tr)
+	}
+	return g.reps[g.Home()].cell.Read(key)
+}
+
+// shipLoop is the async shipper: every ShipInterval it drains each
+// region's outbox into one batch per peer and applies it, exactly once
+// per peer, through the peer cell's own machinery.
+func (g *ReplicaGroup) shipLoop() {
+	defer g.shipWG.Done()
+	tick := time.NewTicker(g.shipEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			g.shipAll()
+		case done := <-g.flushReq:
+			g.shipAll()
+			close(done)
+		case <-g.stopShip:
+			g.shipAll()
+			return
+		}
+	}
+}
+
+// shipAll flushes every region's outbox to every peer, synchronously —
+// when it returns, everything sealed before the call has applied
+// everywhere. Peers are shipped in parallel; the probe's lag numbers
+// combine the real queue wait with the modeled WAN charge.
+func (g *ReplicaGroup) shipAll() {
+	for _, src := range g.reps {
+		src.outMu.Lock()
+		entries := src.outbox
+		src.outbox = nil
+		src.outMu.Unlock()
+		if len(entries) == 0 {
+			continue
+		}
+		sets := make([]geoWriteSet, len(entries))
+		oldest := entries[0].sealed
+		var nWrites int64
+		for i, e := range entries {
+			sets[i] = e.set
+			if e.sealed.Before(oldest) {
+				oldest = e.sealed
+			}
+			nWrites += int64(len(e.set.Writes))
+		}
+		wait := time.Since(oldest)
+		batch, _ := json.Marshal(geoBatch{Origin: src.idx, Sets: sets})
+		shipID := src.shipN.Add(1)
+
+		var maxWAN time.Duration
+		var wanMu sync.Mutex
+		var wg sync.WaitGroup
+		for _, dst := range g.reps {
+			if dst == src {
+				continue
+			}
+			dst := dst
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tr := fabric.NewTrace()
+				wan := g.top.Charge(src.name, dst.name, tr)
+				reqID := fmt.Sprintf("geo/%d/%d/%d", src.idx, dst.idx, shipID)
+				for {
+					_, err := dst.cell.Invoke(reqID, geoApplyOp, batch, tr)
+					if err != nil && errors.Is(err, ErrOverloaded) {
+						time.Sleep(geoShedRetry)
+						continue
+					}
+					break
+				}
+				wanMu.Lock()
+				if wan > maxWAN {
+					maxWAN = wan
+				}
+				wanMu.Unlock()
+			}()
+		}
+		wg.Wait()
+
+		g.stMu.Lock()
+		g.st.ShippedBatches++
+		g.st.ShippedWrites += nWrites
+		g.pendTxns -= int64(len(entries))
+		if wait > g.st.MaxShipWait {
+			g.st.MaxShipWait = wait
+		}
+		if maxWAN > g.st.MaxWANLag {
+			g.st.MaxWANLag = maxWAN
+		}
+		if lag := time.Since(oldest) + maxWAN; lag > g.st.MaxLag {
+			g.st.MaxLag = lag
+		}
+		now := time.Now()
+		for _, e := range entries {
+			for _, w := range e.set.Writes {
+				g.keyPend[w.Key]--
+				if g.keyPend[w.Key] > 0 {
+					continue
+				}
+				delete(g.keyPend, w.Key)
+				if open, ok := g.keyOpen[w.Key]; ok {
+					delete(g.keyOpen, w.Key)
+					if win := now.Sub(open) + maxWAN; win > g.st.MaxKeyWindow {
+						g.st.MaxKeyWindow = win
+					}
+				}
+			}
+		}
+		g.stMu.Unlock()
+	}
+}
+
+// Staleness returns the probe's counters so far.
+func (g *ReplicaGroup) Staleness() StalenessStats {
+	g.stMu.Lock()
+	defer g.stMu.Unlock()
+	return g.st
+}
+
+// Drain quiesces the group: every accepted op applied, every sealed
+// write-set shipped and applied on every peer, every replica settled,
+// and — async mode — every Put key reconciled to its global LWW winner,
+// so replicas converge exactly, not approximately. Callers must have
+// stopped submitting.
+func (g *ReplicaGroup) Drain() error {
+	for _, rep := range g.reps {
+		if err := rep.cell.Settle(); err != nil {
+			return err
+		}
+	}
+	if g.mode != AsyncReplication || len(g.reps) == 1 {
+		return nil
+	}
+	// Sealing runs in handle-watcher goroutines; Settle resolved every
+	// handle, so waiting here guarantees every accepted write-set is in
+	// its outbox before the flush — without it the last op per region can
+	// race the flush and silently never replicate.
+	g.sealWG.Wait()
+	done := make(chan struct{})
+	g.flushReq <- done
+	<-done
+	for _, rep := range g.reps {
+		if err := rep.cell.Settle(); err != nil {
+			return err
+		}
+	}
+	return g.reconcilePuts()
+}
+
+// reconcilePuts force-syncs every Put key to the global LWW winner on
+// every replica. Shipping alone already converges when version order and
+// apply order agree; this pass closes the remaining race (a local write
+// racing a remote apply on one key) by re-asserting the winner — an
+// idempotent no-op everywhere the winner already sits.
+func (g *ReplicaGroup) reconcilePuts() error {
+	type winner struct {
+		ver geoVersion
+		rep *geoReplica
+	}
+	winners := make(map[string]winner)
+	for _, rep := range g.reps {
+		rep.verMu.Lock()
+		for k, v := range rep.vers {
+			if w, ok := winners[k]; !ok || w.ver.before(v) {
+				winners[k] = winner{ver: v, rep: rep}
+			}
+		}
+		rep.verMu.Unlock()
+	}
+	if len(winners) == 0 {
+		return nil
+	}
+	var sets []geoWriteSet
+	for k, w := range winners {
+		val, found, err := w.rep.cell.Read(k)
+		if err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		sets = append(sets, geoWriteSet{
+			ReqID:  fmt.Sprintf("geo/sync/%s", k),
+			Writes: []geoWrite{{Key: k, Op: "put", Val: val, Ver: w.ver}},
+		})
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	batch, _ := json.Marshal(geoBatch{Origin: -1, Sets: sets})
+	for _, rep := range g.reps {
+		reqID := fmt.Sprintf("geo/sync/%d/%d", rep.idx, rep.shipN.Add(1))
+		for {
+			_, err := rep.cell.Invoke(reqID, geoApplyOp, batch, nil)
+			if err != nil && errors.Is(err, ErrOverloaded) {
+				time.Sleep(geoShedRetry)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			break
+		}
+		if err := rep.cell.Settle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops replication and closes every region's cell.
+func (g *ReplicaGroup) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	if g.mode == AsyncReplication && len(g.reps) > 1 {
+		close(g.stopShip)
+		g.shipWG.Wait()
+	}
+	if g.seq != nil {
+		g.seq.stop()
+	}
+	for _, rep := range g.reps {
+		rep.cell.Close()
+	}
+}
+
+// --- sequenced mode ---------------------------------------------------------
+
+// geoSeqReq is one write waiting for the global sequencer.
+type geoSeqReq struct {
+	origin int
+	reqID  string
+	op     string
+	args   []byte
+	tr     *fabric.Trace
+	h      *geoSeqHandle
+}
+
+// geoSeqHandle resolves with the home replica's result and carries the
+// home cell's serialization stamp for the auditor.
+type geoSeqHandle struct {
+	*opHandle
+	seq atomic.Int64
+}
+
+// Seq returns the home replica's log-derived serialization position
+// (0 until resolution) — the same contract as the core cell's handles.
+func (h *geoSeqHandle) Seq() int64 { return h.seq.Load() }
+
+// geoSeqGroupCap bounds how many pending writes one sequencer round
+// packs into a single cross-region group commit (one quorum WAN round
+// trip amortized across the group, like the WAL's group fsync).
+const geoSeqGroupCap = 64
+
+// geoSequencer is the global sequencer of SequencedReplication: one
+// goroutine drains submissions in arrival order and feeds the identical
+// op sequence to every region's cell, so every replica applies — and
+// logs — the same order. Each group pays one modeled quorum WAN round
+// trip before its handles resolve.
+type geoSequencer struct {
+	g    *ReplicaGroup
+	in   chan geoSeqReq
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// logs records every replica's applied order as (reqID, log stamp)
+	// pairs — the surface the identical-log-order tests compare across
+	// regions and across crash/replay.
+	logMu sync.Mutex
+	logs  [][]geoSeqEntry
+}
+
+// geoSeqEntry is one committed op in one replica's log order.
+type geoSeqEntry struct {
+	reqID string
+	seq   int64
+}
+
+func newGeoSequencer(g *ReplicaGroup) *geoSequencer {
+	s := &geoSequencer{
+		g:    g,
+		in:   make(chan geoSeqReq, geoSeqGroupCap),
+		quit: make(chan struct{}),
+		logs: make([][]geoSeqEntry, len(g.reps)),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *geoSequencer) submit(origin int, reqID, opName string, args []byte, tr *fabric.Trace) Handle {
+	// The submission travels to the home-region sequencer first: one WAN
+	// leg, charged on the way in.
+	home := s.g.Home()
+	if origin != home {
+		s.g.top.Charge(s.g.reps[origin].name, s.g.reps[home].name, tr)
+	}
+	h := &geoSeqHandle{opHandle: newOpHandle()}
+	select {
+	case s.in <- geoSeqReq{origin: origin, reqID: reqID, op: opName, args: args, tr: tr, h: h}:
+	case <-s.quit:
+		h.resolve(nil, errors.New("tca: replica group closed"))
+	}
+	return h
+}
+
+func (s *geoSequencer) stop() {
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// loop sequences groups: drain up to geoSeqGroupCap pending writes,
+// submit them in the same order to every region (per-region goroutines,
+// order preserved within each region), wait for every replica's
+// acknowledgment, then charge the group's quorum round trip and resolve
+// every handle with the home replica's result.
+func (s *geoSequencer) loop() {
+	defer s.wg.Done()
+	for {
+		var group []geoSeqReq
+		select {
+		case r := <-s.in:
+			group = append(group, r)
+		case <-s.quit:
+			return
+		}
+	drain:
+		for len(group) < geoSeqGroupCap {
+			select {
+			case r := <-s.in:
+				group = append(group, r)
+			default:
+				break drain
+			}
+		}
+		s.commit(group)
+	}
+}
+
+func (s *geoSequencer) commit(group []geoSeqReq) {
+	g := s.g
+	home := g.Home()
+	handles := make([][]Handle, len(g.reps))
+	var wg sync.WaitGroup
+	for ri, rep := range g.reps {
+		ri, rep := ri, rep
+		handles[ri] = make([]Handle, len(group))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, req := range group {
+				// Same reqID on every replica: the op is one logical
+				// transaction applied N times, idempotent per cell.
+				var tr *fabric.Trace
+				if ri == req.origin {
+					tr = req.tr
+				}
+				h := rep.cell.Submit(req.reqID, req.op, req.args, tr)
+				handles[ri][i] = h
+				// The deterministic cell's Submit returns at durable
+				// append, so sequential submission pins the log order;
+				// waiting for apply here would serialize execution too.
+			}
+			for _, h := range handles[ri] {
+				h.Result()
+			}
+		}()
+	}
+	wg.Wait()
+	// One quorum WAN round trip per group — the cross-region commit
+	// cost, amortized across the group's members like a group fsync.
+	rtt := g.top.QuorumRTT(g.reps[home].name)
+	s.logMu.Lock()
+	for ri := range g.reps {
+		for i, req := range group {
+			if _, err := handles[ri][i].Result(); err != nil {
+				continue
+			}
+			if sh, ok := handles[ri][i].(interface{ Seq() int64 }); ok {
+				s.logs[ri] = append(s.logs[ri], geoSeqEntry{reqID: req.reqID, seq: sh.Seq()})
+			}
+		}
+	}
+	s.logMu.Unlock()
+	for i, req := range group {
+		if rtt > 0 {
+			req.tr.Charge(rtt)
+		}
+		if sh, ok := handles[home][i].(interface{ Seq() int64 }); ok {
+			req.h.seq.Store(sh.Seq())
+		}
+		req.h.resolve(handles[home][i].Result())
+	}
+}
+
+// SequencedOrder returns region i's applied commit order — reqIDs sorted
+// by the replica's own log-derived serialization stamps. Under
+// SequencedReplication this order must be identical on every region, and
+// must survive one region's crash/replay (the log replays in append
+// order); the geo tests pin both. Nil for async groups.
+func (g *ReplicaGroup) SequencedOrder(i int) []string {
+	if g.seq == nil {
+		return nil
+	}
+	g.seq.logMu.Lock()
+	entries := append([]geoSeqEntry(nil), g.seq.logs[i]...)
+	g.seq.logMu.Unlock()
+	sort.Slice(entries, func(a, b int) bool { return entries[a].seq < entries[b].seq })
+	out := make([]string, len(entries))
+	for j, e := range entries {
+		out[j] = e.reqID
+	}
+	return out
+}

@@ -86,6 +86,12 @@ type Config struct {
 	// CrossNodeLatency is the simulated base latency of a cross-node
 	// message.
 	CrossNodeLatency time.Duration
+	// CrossRegionLatency is the simulated base latency of a message that
+	// crosses a region boundary (WAN). It applies only between nodes that
+	// have been placed in different regions with SetRegion; zero means the
+	// cluster has no geo tier and cross-region sends fall back to
+	// CrossNodeLatency. Jitter and seeding are shared with the other tiers.
+	CrossRegionLatency time.Duration
 	// LatencyJitterPct adds uniform jitter in [0, pct] percent of the base
 	// latency.
 	LatencyJitterPct int
@@ -114,6 +120,7 @@ type Cluster struct {
 	mu         sync.Mutex
 	rng        *rand.Rand
 	nodes      map[NodeID]*nodeState
+	regions    map[NodeID]string
 	partitions map[partitionKey]bool
 	epoch      uint64 // incremented on every membership/failure event
 }
@@ -138,6 +145,7 @@ func NewCluster(cfg Config, nodes ...NodeID) *Cluster {
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		nodes:      make(map[NodeID]*nodeState, len(nodes)),
+		regions:    make(map[NodeID]string),
 		partitions: make(map[partitionKey]bool),
 	}
 	for _, n := range nodes {
@@ -232,6 +240,22 @@ func (c *Cluster) Epoch() uint64 {
 	return c.epoch
 }
 
+// SetRegion places node n in the named region. Nodes default to the
+// empty region, so clusters that never call SetRegion behave exactly as
+// before the geo tier existed.
+func (c *Cluster) SetRegion(n NodeID, region string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.regions[n] = region
+}
+
+// RegionOf returns the region node n was placed in ("" if unplaced).
+func (c *Cluster) RegionOf(n NodeID) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.regions[n]
+}
+
 // Partition severs the link between a and b in both directions.
 func (c *Cluster) Partition(a, b NodeID) {
 	c.mu.Lock()
@@ -278,9 +302,12 @@ func (c *Cluster) Send(src, dst NodeID, tr *Trace) Delivery {
 	}
 	parted := c.partitions[pkey(src, dst)]
 	var base time.Duration
-	if src == dst {
+	switch {
+	case src == dst:
 		base = c.cfg.SameNodeLatency
-	} else {
+	case c.cfg.CrossRegionLatency > 0 && c.regions[src] != c.regions[dst]:
+		base = c.cfg.CrossRegionLatency
+	default:
 		base = c.cfg.CrossNodeLatency
 	}
 	jitter := time.Duration(0)

@@ -47,8 +47,13 @@ func (b *Broker) NewTransactionalProducer(txnID string) *Producer {
 	epoch := b.producerEpochs[txnID]
 	b.mu.Unlock()
 	return &Producer{
-		b:     b,
-		id:    txnID,
+		b: b,
+		// The idempotence id is scoped by epoch, as in Kafka: an epoch bump
+		// resets the sequence space, so a restarted instance (whose seqs
+		// begin again at 1) is not deduplicated against its fenced
+		// predecessor's sequences. Cross-instance exactly-once comes from
+		// transactional offset commits, not sequence dedup.
+		id:    fmt.Sprintf("%s@%d", txnID, epoch),
 		txnID: txnID,
 		epoch: epoch,
 		seqs:  make(map[TopicPartition]int64),

@@ -337,13 +337,19 @@ func (k MarketKind) String() string {
 	}
 }
 
-// MarketOp is one marketplace request.
+// MarketOp is one marketplace request. ResvID and Claims are used only
+// by the reservation variant (ReservedMarketGen / ReservedKeys): a cart
+// add carries the reservation it creates and the client-quoted Price; a
+// checkout carries the reservation ids it claims. Plain streams leave
+// them zero, so existing seeded runs are byte-identical.
 type MarketOp struct {
 	Kind    MarketKind
 	User    int
 	Product int
 	Qty     int
 	Price   int64
+	ResvID  int64   `json:",omitempty"`
+	Claims  []int64 `json:",omitempty"`
 }
 
 // MarketConfig sizes the marketplace.
@@ -653,4 +659,302 @@ func (op SocialOp) Keys() []string {
 		}
 		return keys
 	}
+}
+
+// --- reserved marketplace ------------------------------------------------------
+
+// The reservation-style marketplace variant (ROADMAP 4b): instead of
+// checkout reading the live cart, price, and stock — the write-skew
+// surface E18/E21 measure — the price is reserved at cart time. Each
+// add-to-cart becomes a reservation: the client-quoted price rides in
+// the op descriptor (the quote the user saw), the reserved amount lands
+// under a per-reservation key written exactly once, and stock is
+// escrowed with a commutative decrement. A checkout then claims
+// specific reservation ids — keys only that checkout ever touches — so
+// every write op's effects are a pure function of its arguments and its
+// private keys. No op reads a key another op writes concurrently, which
+// is why the eventual cells audit to exactly zero anomalies on this
+// variant: commutativity and unique ownership replace isolation. The
+// cost is extra state and ops (a key and a tombstone per reservation)
+// and a business-policy change — the quoted price is honored even if a
+// price update lands in between.
+
+// ReservationKey names one reservation's escrow: written once by the
+// reserving add-to-cart, consumed once by the claiming checkout.
+func ReservationKey(user int, id int64) string {
+	return fmt.Sprintf("resv/%d/%d", user, id)
+}
+
+// ReservedKeys returns the op's declared key set under the reservation
+// variant. Cart adds touch the escrow and the stock (the price is quoted
+// in the args, not read); checkouts touch exactly the claimed
+// reservations plus the buyer's order ledger.
+func (op MarketOp) ReservedKeys() []string {
+	switch op.Kind {
+	case MarketAddToCart:
+		return []string{MarketStockKey(op.Product), ReservationKey(op.User, op.ResvID)}
+	case MarketCheckout:
+		keys := make([]string, 0, len(op.Claims)+1)
+		for _, id := range op.Claims {
+			keys = append(keys, ReservationKey(op.User, id))
+		}
+		return append(keys, OrderKey(op.User))
+	default:
+		return op.Keys()
+	}
+}
+
+// ReservedMarketGen wraps a MarketGen stream with the bookkeeping the
+// reservation variant needs: unique reservation ids per cart add, a
+// client-side quote for the reserved price, and per-user claim lists so
+// each checkout claims reservations exactly once. The base generator's
+// rng stream is untouched — the wrapper draws quotes from its own seeded
+// rng — so reserved and plain runs sweep identical op mixes.
+type ReservedMarketGen struct {
+	inner   *MarketGen
+	rng     *rand.Rand
+	nextID  int64
+	idBase  int64
+	pending map[int][]int64 // user -> unclaimed reservation ids from this client
+}
+
+// maxClaimsPerCheckout bounds a checkout's key width (and so the
+// statefun scatter and the core's lock footprint) the way real carts
+// bound their size.
+const maxClaimsPerCheckout = 8
+
+// NewReservedMarket wraps a seeded base stream. The seed namespaces this
+// client's reservation ids (each client claims only ids it issued, so
+// ids must be distinct across clients sharing a cell).
+func NewReservedMarket(seed int64, cfg MarketConfig) *ReservedMarketGen {
+	return &ReservedMarketGen{
+		inner:   NewMarket(seed, cfg),
+		rng:     rand.New(rand.NewSource(seed ^ 0x5eed)),
+		idBase:  seed << 20,
+		pending: make(map[int][]int64),
+	}
+}
+
+// Next returns the next reserved-variant request.
+func (g *ReservedMarketGen) Next() MarketOp {
+	op := g.inner.Next()
+	switch op.Kind {
+	case MarketAddToCart:
+		g.nextID++
+		op.ResvID = g.idBase + g.nextID
+		// The quote the client saw — drawn from the same range update-price
+		// writes, standing in for a browsed catalog page.
+		op.Price = int64(100 + g.rng.Intn(900))
+		g.pending[op.User] = append(g.pending[op.User], op.ResvID)
+	case MarketCheckout:
+		ids := g.pending[op.User]
+		n := len(ids)
+		if n > maxClaimsPerCheckout {
+			n = maxClaimsPerCheckout
+		}
+		op.Claims = append([]int64(nil), ids[:n]...)
+		g.pending[op.User] = ids[n:]
+	}
+	return op
+}
+
+// --- trip booking --------------------------------------------------------------
+
+// BookingKind is the trip-booking operation type.
+type BookingKind int
+
+// Booking operations, the examples/booking saga promoted to a
+// first-class mix: a trip reserves one flight seat and one hotel room
+// atomically, a cancellation releases both, and queries read the trip
+// ledger. All mutations are ±1 counter deltas — fully commutative — so
+// every cell must audit clean; what the mix measures is the cost of the
+// multi-key atomic step (two services plus the user's trip ledger).
+const (
+	BookingReserve BookingKind = iota
+	BookingCancel
+	BookingQuery
+)
+
+func (k BookingKind) String() string {
+	switch k {
+	case BookingCancel:
+		return "cancel-trip"
+	case BookingQuery:
+		return "query-trip"
+	default:
+		return "reserve-trip"
+	}
+}
+
+// BookingOp is one trip-booking request.
+type BookingOp struct {
+	Kind   BookingKind
+	User   int
+	Flight int
+	Hotel  int
+}
+
+// BookingGen generates booking requests. Cancellations draw only from
+// trips this generator has reserved (a client cancels its own booking),
+// so the stream never legitimately drives a seat count negative.
+type BookingGen struct {
+	rng        *rand.Rand
+	users      int
+	flights    int
+	hotels     int
+	cancelFrac float64
+	queryFrac  float64
+	booked     []BookingOp
+}
+
+// NewBooking builds a seeded generator over users × flights × hotels
+// with the given cancel and query fractions (remainder reserves).
+func NewBooking(seed int64, users, flights, hotels int, cancelFrac, queryFrac float64) *BookingGen {
+	if users < 1 {
+		users = 64
+	}
+	if flights < 1 {
+		flights = 8
+	}
+	if hotels < 1 {
+		hotels = 8
+	}
+	return &BookingGen{
+		rng:        rand.New(rand.NewSource(seed)),
+		users:      users,
+		flights:    flights,
+		hotels:     hotels,
+		cancelFrac: cancelFrac,
+		queryFrac:  queryFrac,
+	}
+}
+
+// Next returns the next booking request.
+func (g *BookingGen) Next() BookingOp {
+	r := g.rng.Float64()
+	switch {
+	case r < g.cancelFrac && len(g.booked) > 0:
+		i := g.rng.Intn(len(g.booked))
+		op := g.booked[i]
+		g.booked = append(g.booked[:i], g.booked[i+1:]...)
+		op.Kind = BookingCancel
+		return op
+	case r < g.cancelFrac+g.queryFrac:
+		return BookingOp{Kind: BookingQuery, User: g.rng.Intn(g.users)}
+	default:
+		op := BookingOp{
+			Kind:   BookingReserve,
+			User:   g.rng.Intn(g.users),
+			Flight: g.rng.Intn(g.flights),
+			Hotel:  g.rng.Intn(g.hotels),
+		}
+		g.booked = append(g.booked, op)
+		return op
+	}
+}
+
+// FlightKey / HotelKey / TripKey name the booking state: seats sold per
+// flight, rooms sold per hotel, trips held per user.
+func FlightKey(flight int) string { return fmt.Sprintf("flight/%d", flight) }
+func HotelKey(hotel int) string   { return fmt.Sprintf("hotel/%d", hotel) }
+func TripKey(user int) string     { return fmt.Sprintf("trip/%d", user) }
+
+// Keys returns the op's declared key set: a reservation (and its
+// cancellation) spans the flight, the hotel, and the user's trip ledger.
+func (op BookingOp) Keys() []string {
+	switch op.Kind {
+	case BookingQuery:
+		return []string{TripKey(op.User)}
+	default:
+		return []string{FlightKey(op.Flight), HotelKey(op.Hotel), TripKey(op.User)}
+	}
+}
+
+// --- double-entry ledger -------------------------------------------------------
+
+// LedgerKind is the ledger operation type.
+type LedgerKind int
+
+// Ledger operations, the examples/streamledger job promoted to a
+// first-class mix: a posting moves an amount between two accounts and
+// journals the entry id on both sides (a bounded commutative PushCap),
+// queries read one balance. Conservation (Σ balances constant) is the
+// audited invariant.
+const (
+	LedgerPost LedgerKind = iota
+	LedgerQuery
+)
+
+func (k LedgerKind) String() string {
+	if k == LedgerQuery {
+		return "query-balance"
+	}
+	return "post"
+}
+
+// LedgerOp is one ledger request.
+type LedgerOp struct {
+	Kind   LedgerKind
+	From   int
+	To     int
+	Amount int64
+	Entry  int64 // unique journal entry id
+}
+
+// LedgerGen generates seeded postings over n accounts; queryFrac of the
+// stream reads balances. Entry ids are namespaced by the seed so
+// concurrent clients journal distinct ids.
+type LedgerGen struct {
+	rng       *rand.Rand
+	accounts  int
+	queryFrac float64
+	nextEntry int64
+	idBase    int64
+}
+
+// NewLedger builds a seeded generator.
+func NewLedger(seed int64, accounts int, queryFrac float64) *LedgerGen {
+	if accounts < 2 {
+		accounts = 32
+	}
+	return &LedgerGen{
+		rng:       rand.New(rand.NewSource(seed)),
+		accounts:  accounts,
+		queryFrac: queryFrac,
+		idBase:    seed << 20,
+	}
+}
+
+// Next returns the next ledger request.
+func (g *LedgerGen) Next() LedgerOp {
+	if g.queryFrac > 0 && g.rng.Float64() < g.queryFrac {
+		return LedgerOp{Kind: LedgerQuery, From: g.rng.Intn(g.accounts)}
+	}
+	from := g.rng.Intn(g.accounts)
+	to := g.rng.Intn(g.accounts - 1)
+	if to >= from {
+		to++
+	}
+	g.nextEntry++
+	return LedgerOp{
+		Kind:   LedgerPost,
+		From:   from,
+		To:     to,
+		Amount: int64(1 + g.rng.Intn(100)),
+		Entry:  g.idBase + g.nextEntry,
+	}
+}
+
+// AcctKey / JournalKey name the ledger state: one balance and one
+// bounded journal of recent entry ids per account.
+func AcctKey(account int) string    { return fmt.Sprintf("acct/%d", account) }
+func JournalKey(account int) string { return fmt.Sprintf("journal/%d", account) }
+
+// Keys returns the op's declared key set: a posting touches both sides'
+// balances and journals.
+func (op LedgerOp) Keys() []string {
+	if op.Kind == LedgerQuery {
+		return []string{AcctKey(op.From)}
+	}
+	return []string{AcctKey(op.From), AcctKey(op.To), JournalKey(op.From), JournalKey(op.To)}
 }

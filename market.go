@@ -213,3 +213,106 @@ func (a *MarketAuditor) RecordOp(op workload.MarketOp) {
 	args, _ := json.Marshal(op)
 	a.ObserveSerial(marketOpName(op), args)
 }
+
+// --- reservation variant (ROADMAP 4b) ----------------------------------------
+
+// MarketAppReserved is the reservation-style marketplace: the same op
+// names and mix as MarketApp, restructured so no op reads state another
+// op writes concurrently. add-to-cart reserves — it escrows the
+// client-quoted price under a per-reservation key (written exactly once)
+// and decrements stock commutatively; checkout claims its own
+// reservations (keys only it ever touches) and moves the escrowed
+// amounts to the order ledger. Every write is then a pure function of
+// the op's arguments and private keys, so the eventual cells audit to
+// exactly zero anomalies — commutativity and unique key ownership buy
+// what the drifting MarketApp needs isolation for. The trade: more keys
+// and writes per op (the extra-ops cost E21's reserved row measures),
+// stock escrowed at cart time (abandoned carts hold it; stock may
+// backorder below zero since nothing un-reserves), and the quoted price
+// honored even if update-price lands in between — a business policy,
+// not an anomaly.
+func MarketAppReserved() *App {
+	app := NewApp("market-res")
+	keys := func(args []byte) []string {
+		var op workload.MarketOp
+		json.Unmarshal(args, &op)
+		return op.ReservedKeys()
+	}
+	app.Register(Op{Name: workload.MarketAddToCart.String(), Keys: keys, Body: marketReserve})
+	app.Register(Op{Name: workload.MarketCheckout.String(), Keys: keys, Body: marketClaim})
+	app.Register(Op{Name: workload.MarketQueryProduct.String(), Keys: keys, ReadOnly: true, Body: marketQueryProduct})
+	app.Register(Op{Name: workload.MarketUpdatePrice.String(), Keys: keys, Body: marketUpdatePrice})
+	return app
+}
+
+// marketReserve escrows qty items at the client-quoted price: one Put to
+// a virgin per-reservation key plus one commutative stock decrement.
+// Re-execution re-puts the same value — idempotent by construction.
+func marketReserve(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	qty := int64(op.Qty)
+	if qty < 1 {
+		qty = 1
+	}
+	amount := qty * op.Price
+	if err := tx.Put(workload.ReservationKey(op.User, op.ResvID), EncodeInt(amount)); err != nil {
+		return nil, err
+	}
+	return EncodeInt(amount), tx.Add(workload.MarketStockKey(op.Product), -qty)
+}
+
+// marketClaim settles the claimed reservations into the order ledger.
+// Each claimed key was written by exactly one reserve and is claimed by
+// exactly this checkout, so the read can never race another writer; a
+// reservation whose write is still in flight reads as absent and simply
+// stays open — consistent with ordering this checkout before it.
+func marketClaim(tx Txn, args []byte) ([]byte, error) {
+	var op workload.MarketOp
+	if err := json.Unmarshal(args, &op); err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, id := range op.Claims {
+		key := workload.ReservationKey(op.User, id)
+		raw, found, err := tx.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		amount := DecodeInt(raw)
+		if !found || amount <= 0 {
+			continue
+		}
+		if err := tx.Put(key, EncodeInt(0)); err != nil {
+			return nil, err
+		}
+		if err := tx.Add(workload.OrderKey(op.User), amount); err != nil {
+			return nil, err
+		}
+		total += amount
+	}
+	if total == 0 {
+		return nil, ErrEmptyCart
+	}
+	return EncodeInt(total), nil
+}
+
+// NewMarketReservedAuditor audits the reservation variant on the shared
+// engine. There is no live stock constraint — escrowed stock may
+// legitimately backorder below zero — so the whole verdict is the
+// settled-state comparison against the serial reference, which the
+// variant must pass with zero anomalies on every cell.
+func NewMarketReservedAuditor() *MarketAuditor {
+	return &MarketAuditor{newRefAuditor(auditorConfig{
+		app: MarketAppReserved(),
+		compare: func(key string, got, want []byte) string {
+			g, w := DecodeInt(got), DecodeInt(want)
+			if g == w {
+				return ""
+			}
+			return fmt.Sprintf("%s: %d, serial reference %d", key, g, w)
+		},
+	})}
+}

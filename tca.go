@@ -147,6 +147,44 @@
 // Because groups persist before the broker sees them, the disk order and
 // the topic order agree, so replay rebuilds the identical schedule and
 // in-flight Handles resolve exactly once across a crash.
+//
+// # Geo-replication
+//
+// DeployReplicated(model, app, regions, opts) wraps any cell as a multi-region
+// ReplicaGroup: one full replica of the cell per region in a
+// region.Topology, with every cross-region message charged through a
+// dedicated WAN tier of the latency fabric (GeoOptions.WAN, or the
+// topology's own per-pair distances). Two replication modes span the
+// paper's consistency axis:
+//
+//   - AsyncReplication ships committed writes as versioned deltas on a ship
+//     interval. Commutative ops — Add, PushCap — merge by replay on the
+//     remote replica (PushCap's capped newest-ids list is a bounded CRDT:
+//     the merge keeps the global top-cap ids regardless of arrival
+//     order), and Put conflicts resolve last-writer-wins on hybrid
+//     vector-clock timestamps, with a reconcile round forcing the global
+//     winner everywhere on Drain. A drained group therefore converges
+//     exactly — byte-equal state on all replicas — while steady-state
+//     reads trade freshness for locality.
+//   - SequencedReplication routes every write through the home region's global
+//     sequencer before group commit, so all regions apply the identical
+//     log order (SequencedOrder) and reads are fresh everywhere; the
+//     price is that every cross-region commit pays at least one WAN
+//     round trip by construction.
+//
+// Reads pick their side of the trade per query: ReadLocal answers
+// from the caller's region at region-local latency (possibly stale under
+// AsyncReplication), ReadHome forwards to the home region and pays the
+// WAN round trip for freshness. The group's staleness probe
+// (ReplicaGroup.Staleness, StalenessStats) bounds what "possibly stale"
+// means — maximum replication lag in committed transactions and in
+// wall-modeled time (at most one ship interval plus one WAN delay), and
+// the widest per-key divergence window — and feeds the Auditor layer via
+// ObserveStaleness so audit verdicts carry the staleness context. E24
+// (RunGeoCell, BenchmarkE24_GeoFrontier, tcabench -experiment e24)
+// sweeps regions x WAN x read mode and measures the frontier: async
+// local reads are WAN-blind with bounded nonzero staleness, sequenced
+// commits pay the WAN round trip with zero anomalies.
 package tca
 
 import (
